@@ -1,0 +1,234 @@
+//! Native backend: the abstract word memory realized over a flat array of
+//! `AtomicU64` with `SeqCst` orderings, matching the C11 `seq_cst` accesses
+//! of the paper's evaluated implementations.
+
+use crate::{Addr, ThreadCtx};
+use simalloc::{ThreadCache, WordPool};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Nominal clock used to convert between cycles and nanoseconds: the
+/// evaluation machine's Xeon E5-2699 v4 base clock.
+pub const GHZ: f64 = 2.2;
+
+/// A fixed-capacity native heap of 64-bit words shared by all threads.
+pub struct NativeHeap {
+    words: Box<[AtomicU64]>,
+    pool: Arc<WordPool>,
+    epoch: Instant,
+}
+
+impl NativeHeap {
+    /// Creates a heap with capacity for `words` words. Word 0 is the NULL
+    /// sentinel. Allocation past the capacity panics — size generously.
+    pub fn new(words: usize) -> Self {
+        let mut v = Vec::with_capacity(words);
+        v.resize_with(words, || AtomicU64::new(0));
+        NativeHeap {
+            words: v.into_boxed_slice(),
+            pool: Arc::new(WordPool::new(8)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Creates the per-thread context for thread `tid`.
+    pub fn ctx(self: &Arc<Self>, tid: usize) -> NativeCtx {
+        NativeCtx {
+            heap: Arc::clone(self),
+            tid,
+            cache: self.pool.thread_cache(),
+        }
+    }
+
+    /// Number of words of capacity.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    #[inline]
+    fn word(&self, a: Addr) -> &AtomicU64 {
+        debug_assert_ne!(a, 0, "access to NULL");
+        &self.words[a as usize]
+    }
+}
+
+/// Per-thread handle onto a [`NativeHeap`].
+pub struct NativeCtx {
+    heap: Arc<NativeHeap>,
+    tid: usize,
+    cache: ThreadCache,
+}
+
+impl ThreadCtx for NativeCtx {
+    #[inline]
+    fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    #[inline]
+    fn read(&mut self, a: Addr) -> u64 {
+        self.heap.word(a).load(SeqCst)
+    }
+
+    #[inline]
+    fn write(&mut self, a: Addr, v: u64) {
+        self.heap.word(a).store(v, SeqCst)
+    }
+
+    #[inline]
+    fn cas(&mut self, a: Addr, old: u64, new: u64) -> bool {
+        self.heap
+            .word(a)
+            .compare_exchange(old, new, SeqCst, SeqCst)
+            .is_ok()
+    }
+
+    #[inline]
+    fn faa(&mut self, a: Addr, v: u64) -> u64 {
+        self.heap.word(a).fetch_add(v, SeqCst)
+    }
+
+    #[inline]
+    fn swap(&mut self, a: Addr, v: u64) -> u64 {
+        self.heap.word(a).swap(v, SeqCst)
+    }
+
+    fn delay(&mut self, cycles: u64) {
+        // Busy-wait for cycles/GHZ nanoseconds. `Instant` granularity is
+        // tens of ns, which is adequate for the ≥50-cycle delays the
+        // algorithms use; shorter delays degrade to a handful of spin hints.
+        let target_ns = (cycles as f64 / GHZ) as u64;
+        if target_ns < 40 {
+            for _ in 0..cycles {
+                std::hint::spin_loop();
+            }
+            return;
+        }
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < target_ns {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn alloc(&mut self, words: usize) -> Addr {
+        let a = self.cache.alloc(words);
+        assert!(
+            (a as usize) + words <= self.heap.words.len(),
+            "native heap exhausted: grow NativeHeap::new capacity"
+        );
+        a
+    }
+
+    fn free(&mut self, a: Addr, words: usize) {
+        self.cache.free(a, words)
+    }
+
+    fn now(&self) -> u64 {
+        (self.heap.epoch.elapsed().as_nanos() as f64 * GHZ) as u64
+    }
+}
+
+/// Runs `nthreads` closures concurrently, each with its own [`NativeCtx`],
+/// and returns their results in thread-id order. The closure receives
+/// `(ctx, tid)`.
+pub fn run_threads<R: Send>(
+    heap: &Arc<NativeHeap>,
+    nthreads: usize,
+    f: impl Fn(&mut NativeCtx) -> R + Sync,
+) -> Vec<R> {
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..nthreads)
+            .map(|tid| {
+                let mut ctx = heap.ctx(tid);
+                let f = &f;
+                s.spawn(move |_| f(&mut ctx))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmw_primitives_match_spec() {
+        let heap = Arc::new(NativeHeap::new(1 << 10));
+        let mut c = heap.ctx(0);
+        let a = c.alloc(1);
+        c.write(a, 10);
+        assert_eq!(c.faa(a, 5), 10);
+        assert_eq!(c.read(a), 15);
+        assert_eq!(c.swap(a, 99), 15);
+        assert_eq!(c.read(a), 99);
+        assert!(c.cas(a, 99, 1));
+        assert!(!c.cas(a, 99, 2));
+        assert_eq!(c.read(a), 1);
+    }
+
+    #[test]
+    fn concurrent_faa_loses_no_increments() {
+        let heap = Arc::new(NativeHeap::new(1 << 10));
+        let a = {
+            let mut c = heap.ctx(0);
+            let a = c.alloc(1);
+            c.write(a, 0);
+            a
+        };
+        const N: u64 = 10_000;
+        run_threads(&heap, 4, |ctx| {
+            for _ in 0..N {
+                ctx.faa(a, 1);
+            }
+        });
+        assert_eq!(heap.ctx(0).read(a), 4 * N);
+    }
+
+    #[test]
+    fn concurrent_cas_elects_single_winner_per_round() {
+        let heap = Arc::new(NativeHeap::new(1 << 10));
+        let a = {
+            let mut c = heap.ctx(0);
+            let a = c.alloc(1);
+            c.write(a, 0);
+            a
+        };
+        let wins = run_threads(&heap, 4, |ctx| {
+            let mut w = 0u64;
+            for round in 0..1000u64 {
+                if ctx.cas(a, round, round + 1) {
+                    w += 1;
+                } else {
+                    // Wait for the round to finish before the next attempt.
+                    while ctx.read(a) <= round {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+            w
+        });
+        assert_eq!(wins.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn delay_spends_roughly_requested_time() {
+        let heap = Arc::new(NativeHeap::new(1 << 10));
+        let mut c = heap.ctx(0);
+        let t0 = Instant::now();
+        c.delay(220_000); // 100 µs at 2.2 GHz
+        let el = t0.elapsed().as_micros();
+        assert!(el >= 95, "delay too short: {el} µs");
+    }
+
+    #[test]
+    fn now_is_monotonic() {
+        let heap = Arc::new(NativeHeap::new(1 << 10));
+        let mut c = heap.ctx(0);
+        let a = c.now();
+        c.delay(10_000);
+        assert!(c.now() > a);
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks of the *native* typed queue against simple
+//! reference structures — the sanity check that the production `Sbq<T>`
+//! is in the right performance class on real atomics (absolute multicore
+//! scalability is the simulator's job; this box may have few cores).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbq::native::Sbq;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+fn bench_single_thread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_thread");
+    g.sample_size(20);
+
+    g.bench_function("sbq_enq_deq", |b| {
+        let q = Arc::new(Sbq::<u64>::new(2));
+        let mut h = q.handle();
+        b.iter(|| {
+            h.enqueue(1);
+            std::hint::black_box(h.dequeue());
+        });
+    });
+
+    g.bench_function("mutex_vecdeque_enq_deq", |b| {
+        let q: Mutex<VecDeque<u64>> = Mutex::new(VecDeque::new());
+        b.iter(|| {
+            q.lock().unwrap().push_back(1);
+            std::hint::black_box(q.lock().unwrap().pop_front());
+        });
+    });
+
+    g.bench_function("crossbeam_segqueue_enq_deq", |b| {
+        let q = crossbeam::queue::SegQueue::new();
+        b.iter(|| {
+            q.push(1u64);
+            std::hint::black_box(q.pop());
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_burst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("burst_1000");
+    g.sample_size(20);
+
+    g.bench_function("sbq", |b| {
+        let q = Arc::new(Sbq::<u64>::new(2));
+        let mut h = q.handle();
+        b.iter(|| {
+            for i in 1..=1000u64 {
+                h.enqueue(i);
+            }
+            for _ in 0..1000 {
+                std::hint::black_box(h.dequeue());
+            }
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_burst);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! `cargo bench` entry point that regenerates every paper figure at a
+//! reduced default scale (override with SBQ_OPS / SBQ_THREADS). Uses a
+//! plain main instead of Criterion: the figures are parameter sweeps on
+//! the discrete-event simulator, and their output is the data series
+//! itself, not a wall-clock statistic.
+
+fn main() {
+    // Keep `cargo bench` runs bounded on small machines: a modest default
+    // sweep unless the caller overrides.
+    if std::env::var("SBQ_OPS").is_err() {
+        std::env::set_var("SBQ_OPS", "120");
+    }
+    if std::env::var("SBQ_THREADS").is_err() {
+        std::env::set_var("SBQ_THREADS", "1,2,4,8,16,22");
+    }
+    // `cargo bench` passes --bench; ignore all args.
+    bench::fig::all();
+}

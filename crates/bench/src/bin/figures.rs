@@ -1,0 +1,36 @@
+//! Regenerates the paper's figures on the simulated substrate.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- <subcommand>
+//! ```
+//!
+//! Subcommands: `fig1 fig2 fig3 fig5 fig6 fig7 speedups ablate-delay
+//! ablate-fix ablate-basket all`. Scale with `SBQ_OPS` (ops/thread) and
+//! `SBQ_THREADS` (comma-separated sweep).
+
+use bench::fig;
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match cmd.as_str() {
+        "fig1" => fig::fig1(),
+        "fig2" => fig::fig2(),
+        "fig3" => fig::fig3(),
+        "fig5" => fig::fig5(),
+        "fig6" => fig::fig6(),
+        "fig7" => fig::fig7(),
+        "speedups" => fig::speedups(),
+        "ablate-delay" => fig::ablate_delay(),
+        "ablate-fix" => fig::ablate_fix(),
+        "ablate-basket" => fig::ablate_basket(),
+        "ablate-deq" => fig::ablate_deq(),
+        "all" => fig::all(),
+        other => {
+            eprintln!(
+                "unknown figure `{other}`; valid: fig1 fig2 fig3 fig5 fig6 fig7 \
+                 speedups ablate-delay ablate-fix ablate-basket all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

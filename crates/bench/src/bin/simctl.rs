@@ -1,0 +1,101 @@
+//! simctl — run one queue workload on the simulated machine with custom
+//! parameters, printing the measurement as TSV. The interactive companion
+//! to the fixed `figures` drivers.
+//!
+//! ```text
+//! simctl <queue> <workload> <threads> [key=value ...]
+//!
+//! queues:    sbq-htm | sbq-cas | bq | wf | cc | ms
+//! workloads: producer | consumer | mixed
+//! keys:      ops (per thread)        default 200
+//!            hop (intra-socket, cy)  default 25
+//!            hop-cross (cycles)      default 110
+//!            delay (TxCAS intra, cy) default 600
+//!            basket (capacity)       default max(44, threads)
+//!            fix (0/1 microarch fix) default 0
+//!            seed                    default 0x5b90
+//! ```
+//!
+//! Example: `simctl sbq-htm producer 44 ops=300 delay=900`
+
+use bench::simq::{QueueKind, QueueParams};
+use bench::workload::{paper_workload, run_workload, WorkloadKind};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        usage();
+    }
+    let Some(queue) = QueueKind::parse(&args[0]) else {
+        eprintln!("unknown queue `{}`", args[0]);
+        usage();
+    };
+    let kind = match args[1].as_str() {
+        "producer" | "producer-only" | "enq" => WorkloadKind::ProducerOnly,
+        "consumer" | "consumer-only" | "deq" => WorkloadKind::ConsumerOnly,
+        "mixed" => WorkloadKind::Mixed,
+        other => {
+            eprintln!("unknown workload `{other}`");
+            usage();
+        }
+    };
+    let threads: usize = args[2].parse().unwrap_or_else(|_| usage());
+
+    let mut ops = 200u64;
+    let mut w = paper_workload(kind, threads, ops);
+    for kv in &args[3..] {
+        let Some((k, v)) = kv.split_once('=') else {
+            eprintln!("expected key=value, got `{kv}`");
+            usage();
+        };
+        let n: u64 = v.parse().unwrap_or_else(|_| usage());
+        match k {
+            "ops" => ops = n,
+            "hop" => w.machine.hop_intra = n,
+            "hop-cross" => w.machine.hop_cross = n,
+            "delay" => {
+                w.qp.txcas.intra_delay = n;
+                w.qp.delay_cycles = n;
+            }
+            "basket" => {
+                w.qp.basket_capacity = n as usize;
+                w.qp = QueueParams {
+                    enqueuers: w.qp.enqueuers.min(n as usize),
+                    ..w.qp
+                };
+            }
+            "fix" => w.machine.microarch_fix = n != 0,
+            "seed" => w.machine.seed = n,
+            other => {
+                eprintln!("unknown key `{other}`");
+                usage();
+            }
+        }
+    }
+    // Re-derive ops-dependent fields with the final value.
+    let mut w2 = paper_workload(kind, threads, ops);
+    w2.machine = w.machine.clone();
+    w2.qp = w.qp;
+    let m = run_workload(queue, &w2);
+
+    println!("queue\tworkload\tthreads\tlatency_ns\tthroughput_mops\tduration_ns_per_op\ttx_commits\ttx_aborts\ttripped");
+    println!(
+        "{}\t{:?}\t{}\t{:.1}\t{:.3}\t{:.1}\t{}\t{}\t{}",
+        m.queue,
+        kind,
+        m.threads,
+        m.latency_ns,
+        m.throughput_mops,
+        m.duration_ns_per_op,
+        m.tx_commits,
+        m.tx_aborts,
+        m.tripped_writers
+    );
+}

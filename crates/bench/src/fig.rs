@@ -1,0 +1,484 @@
+//! Figure drivers: each regenerates one table/figure of the paper as TSV
+//! on stdout (see DESIGN.md §4 for the experiment index).
+
+use crate::simq::QueueKind;
+use crate::workload::{paper_workload, run_workload, Measurement, WorkloadKind};
+use crate::{env_u64, thread_counts};
+use absmem::ThreadCtx;
+use coherence::{cycles_to_ns, Machine, MachineConfig, Program, SimCtx, TraceEvent};
+use sbq::txcas::{txn_cas, TxCasParams, TxCasStats};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Default thread sweep for single-socket figures (1–44 hardware threads,
+/// matching the paper's x-axis).
+const SWEEP: &[usize] = &[1, 2, 4, 8, 12, 16, 22, 28, 36, 44];
+
+fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: TxCAS vs FAA latency
+// ---------------------------------------------------------------------
+
+/// One Figure-1 data point: every thread hammers one shared word.
+fn fig1_point(threads: usize, ops: u64, use_txcas: bool, params: TxCasParams) -> (f64, TxCasStats) {
+    let mut cfg = MachineConfig::single_socket(threads);
+    cfg.check_invariants = false;
+    let shared = Arc::new(AtomicU64::new(0));
+    let lat: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let stats_all: Arc<Mutex<TxCasStats>> = Arc::new(Mutex::new(TxCasStats::default()));
+    let programs: Vec<Program> = (0..threads)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let lat = Arc::clone(&lat);
+            let stats_all = Arc::clone(&stats_all);
+            Box::new(move |ctx: &mut SimCtx| {
+                let a = shared.load(SeqCst);
+                ctx.barrier();
+                let mut stats = TxCasStats::default();
+                let t0 = ctx.now();
+                if use_txcas {
+                    for _ in 0..ops {
+                        let old = ctx.read(a);
+                        txn_cas(ctx, &params, a, old, old + 1, &mut stats);
+                    }
+                } else {
+                    for _ in 0..ops {
+                        ctx.faa(a, 1);
+                    }
+                }
+                lat.lock().unwrap().push((ctx.now() - t0, ops));
+                let mut s = stats_all.lock().unwrap();
+                s.success += stats.success;
+                s.fail_self_abort += stats.fail_self_abort;
+                s.fail_post_abort += stats.fail_post_abort;
+                s.retries += stats.retries;
+                s.fallbacks += stats.fallbacks;
+            }) as Program
+        })
+        .collect();
+    let s2 = Arc::clone(&shared);
+    Machine::new(cfg).run(
+        Box::new(move |ctx| {
+            let a = ctx.alloc(1);
+            ctx.write(a, 0);
+            s2.store(a, SeqCst);
+        }),
+        programs,
+    );
+    let lat = lat.lock().unwrap();
+    let total_cycles: u64 = lat.iter().map(|(c, _)| c).sum();
+    let total_ops: u64 = lat.iter().map(|(_, o)| o).sum();
+    let ns = cycles_to_ns(total_cycles) / total_ops as f64;
+    let stats = stats_all.lock().unwrap().clone();
+    (ns, stats)
+}
+
+/// Figure 1: TxCAS vs standard FAA latency as contention grows.
+pub fn fig1() {
+    let ops = env_u64("SBQ_OPS", 300);
+    println!("# Figure 1: operation latency [ns/op] vs concurrent threads");
+    header(&["threads", "FAA", "TxCAS"]);
+    for &t in &thread_counts(SWEEP) {
+        let (faa, _) = fig1_point(t, ops, false, TxCasParams::default());
+        let (tx, _) = fig1_point(t, ops, true, TxCasParams::default());
+        println!("{t}\t{faa:.1}\t{tx:.1}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 2 & 3: coherence message dynamics (trace reproductions)
+// ---------------------------------------------------------------------
+
+fn print_trace(trace: &[TraceEvent], from: u64, limit: usize) {
+    header(&["t_sent", "t_recv", "src", "dst", "msg", "line/detail"]);
+    let mut n = 0;
+    for e in trace {
+        match e {
+            TraceEvent::Msg {
+                sent,
+                recv,
+                src,
+                dst,
+                kind,
+                line,
+            } if *sent >= from => {
+                println!("{sent}\t{recv}\t{src}\t{dst}\t{kind}\t{line:#x}");
+                n += 1;
+            }
+            TraceEvent::Tx {
+                time,
+                core,
+                what,
+                detail,
+            } if *time >= from => {
+                println!("{time}\t-\tC{core}\t-\t[{what}]\t{detail:#x}");
+                n += 1;
+            }
+            _ => {}
+        }
+        if n >= limit {
+            println!("... (truncated)");
+            break;
+        }
+    }
+}
+
+/// Figure 2: message dynamics of contended standard CAS (2a) vs HTM-based
+/// CAS (2b), three cores.
+pub fn fig2() {
+    for htm in [false, true] {
+        let mut cfg = MachineConfig::single_socket(3);
+        cfg.trace = true;
+        let shared = Arc::new(AtomicU64::new(0));
+        let programs: Vec<Program> = (0..3)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                Box::new(move |ctx: &mut SimCtx| {
+                    let a = shared.load(SeqCst);
+                    // All cores read first (line Shared everywhere)...
+                    let old = ctx.read(a);
+                    ctx.barrier();
+                    // ...then CAS simultaneously.
+                    if htm {
+                        let mut st = TxCasStats::default();
+                        let p = TxCasParams {
+                            intra_delay: 40,
+                            ..Default::default()
+                        };
+                        txn_cas(ctx, &p, a, old, i as u64 + 1, &mut st);
+                    } else {
+                        ctx.cas(a, old, i as u64 + 1);
+                    }
+                }) as Program
+            })
+            .collect();
+        let s2 = Arc::clone(&shared);
+        let report = Machine::new(cfg).run(
+            Box::new(move |ctx| {
+                let a = ctx.alloc(1);
+                ctx.write(a, 0);
+                s2.store(a, SeqCst);
+            }),
+            programs,
+        );
+        println!(
+            "# Figure 2{}: {} — contended CAS x3 cores",
+            if htm { 'b' } else { 'a' },
+            if htm {
+                "HTM-based CAS: failures are not serialized"
+            } else {
+                "standard CAS: all operations serialized"
+            }
+        );
+        // Skip the setup/warm-up traffic: find the barrier moment by the
+        // last initial read.
+        print_trace(&report.trace, 0, 60);
+        println!(
+            "# commits={} conflict_aborts={}",
+            report.stats.tx_commits, report.stats.tx_aborts_conflict
+        );
+        println!("# swim lanes:");
+        print!(
+            "{}",
+            crate::trace_render::render_lanes(&report.trace, &["Dir", "C0", "C1", "C2"], 40)
+        );
+        println!();
+    }
+}
+
+/// Figure 3: the tripped-writer race, with and without the §3.4.1
+/// microarchitectural fix.
+pub fn fig3() {
+    for fix in [false, true] {
+        let mut cfg = MachineConfig::dual_socket(3);
+        cfg.trace = true;
+        cfg.microarch_fix = fix;
+        let shared = Arc::new(AtomicU64::new(0));
+        let programs: Vec<Program> = (0..6)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                Box::new(move |ctx: &mut SimCtx| {
+                    let a = shared.load(SeqCst);
+                    match i {
+                        0 => {
+                            let old = ctx.read(a);
+                            ctx.barrier();
+                            let mut st = TxCasStats::default();
+                            let p = TxCasParams {
+                                intra_delay: 1,
+                                ..Default::default()
+                            };
+                            txn_cas(ctx, &p, a, old, 7, &mut st);
+                        }
+                        3 => {
+                            // Far-socket sharer: slow InvAck widens the
+                            // writer's vulnerable window.
+                            let _ = ctx.read(a);
+                            ctx.barrier();
+                            ctx.delay(4000);
+                        }
+                        1 | 2 => {
+                            ctx.barrier();
+                            ctx.delay(80 + 90 * i as u64);
+                            let _ = ctx.read(a); // the tripping read
+                        }
+                        _ => {
+                            ctx.barrier();
+                        }
+                    }
+                }) as Program
+            })
+            .collect();
+        let s2 = Arc::clone(&shared);
+        let report = Machine::new(cfg).run(
+            Box::new(move |ctx| {
+                let a = ctx.alloc(1);
+                ctx.write(a, 0);
+                s2.store(a, SeqCst);
+            }),
+            programs,
+        );
+        println!(
+            "# Figure 3: tripped writer ({}). tripped={} fix_stalls={} commits={}",
+            if fix { "with §3.4.1 fix" } else { "no fix" },
+            report.stats.tripped_writers,
+            report.stats.fix_stalls,
+            report.stats.tx_commits
+        );
+        print_trace(&report.trace, 0, 50);
+        println!();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 5–7: the queue benchmarks
+// ---------------------------------------------------------------------
+
+fn queue_figure(kind: WorkloadKind, title: &str, metric: fn(&Measurement) -> Vec<f64>) {
+    let ops = env_u64("SBQ_OPS", 200);
+    println!("{title}");
+    let queues = QueueKind::PAPER_SET;
+    let mut cols = vec!["threads".to_string()];
+    cols.extend(queues.iter().map(|q| q.name().to_string()));
+    println!("{}", cols.join("\t"));
+    for &t in &thread_counts(SWEEP) {
+        let t = if kind == WorkloadKind::Mixed {
+            t * 2
+        } else {
+            t
+        };
+        let mut row = vec![format!("{t}")];
+        for q in queues {
+            let m = run_workload(q, &paper_workload(kind, t, ops));
+            row.push(
+                metric(&m)
+                    .iter()
+                    .map(|v| format!("{v:.1}"))
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            );
+        }
+        println!("{}", row.join("\t"));
+    }
+}
+
+/// Figure 5: producer-only latency [ns/op] and throughput [Mop/s].
+pub fn fig5() {
+    queue_figure(
+        WorkloadKind::ProducerOnly,
+        "# Figure 5: enqueue-only — latency[ns/op]/throughput[Mop/s] per queue",
+        |m| vec![m.latency_ns, m.throughput_mops],
+    );
+}
+
+/// Figure 6: consumer-only dequeue latency [ns/op].
+pub fn fig6() {
+    queue_figure(
+        WorkloadKind::ConsumerOnly,
+        "# Figure 6: dequeue-only — latency[ns/op] per queue",
+        |m| vec![m.latency_ns],
+    );
+}
+
+/// Figure 7: mixed workload, normalized duration [ns/op].
+pub fn fig7() {
+    queue_figure(
+        WorkloadKind::Mixed,
+        "# Figure 7: mixed producers(socket0)/consumers(socket1) — duration[ns/op]",
+        |m| vec![m.duration_ns_per_op],
+    );
+}
+
+/// The headline comparison (§1, §6.2): SBQ-HTM vs WF-Queue throughput
+/// ratio on producer-only and mixed workloads at full concurrency.
+pub fn speedups() {
+    let ops = env_u64("SBQ_OPS", 200);
+    let t = *thread_counts(SWEEP).last().unwrap_or(&44);
+    println!("# Headline speedups (SBQ-HTM over WF-Queue)");
+    header(&["workload", "threads", "sbq_thr", "wf_thr", "speedup"]);
+    for (name, kind, threads) in [
+        ("producer-only", WorkloadKind::ProducerOnly, t),
+        ("mixed", WorkloadKind::Mixed, t * 2),
+    ] {
+        let sbq = run_workload(QueueKind::SbqHtm, &paper_workload(kind, threads, ops));
+        let wf = run_workload(QueueKind::WfQueue, &paper_workload(kind, threads, ops));
+        // For the mixed workload the paper compares durations, so use
+        // 1/duration as "throughput".
+        let (s, w) = match kind {
+            WorkloadKind::Mixed => (1.0 / sbq.duration_ns_per_op, 1.0 / wf.duration_ns_per_op),
+            _ => (sbq.throughput_mops, wf.throughput_mops),
+        };
+        println!("{name}\t{threads}\t{s:.3}\t{w:.3}\t{:.2}x", s / w);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------
+
+/// §4.1: sweep the intra-transaction delay at high contention.
+pub fn ablate_delay() {
+    let ops = env_u64("SBQ_OPS", 200);
+    let t = *thread_counts(&[22]).last().unwrap_or(&22);
+    println!("# Ablation: TxCAS intra-transaction delay at {t} threads (paper optimum ~600 cycles = 270ns)");
+    header(&["delay_cycles", "txcas_latency_ns", "retries_per_op"]);
+    for delay in [0u64, 75, 150, 300, 600, 1200, 2400] {
+        let p = TxCasParams {
+            intra_delay: delay,
+            ..Default::default()
+        };
+        let (ns, st) = fig1_point(t, ops, true, p);
+        let total = st.success + st.fail_self_abort + st.fail_post_abort + st.fallbacks;
+        println!(
+            "{delay}\t{ns:.1}\t{:.3}",
+            st.retries as f64 / total.max(1) as f64
+        );
+    }
+}
+
+/// §3.4.1: tripped writers across sockets, with and without the fix.
+pub fn ablate_fix() {
+    let ops = env_u64("SBQ_OPS", 150);
+    println!("# Ablation: cross-socket TxCAS — tripped writers and the microarch fix");
+    header(&["fix", "latency_ns", "tripped_writers", "retries_per_op"]);
+    for fix in [false, true] {
+        let threads = 8;
+        let mut cfg = MachineConfig::dual_socket(threads / 2);
+        cfg.check_invariants = false;
+        cfg.microarch_fix = fix;
+        let shared = Arc::new(AtomicU64::new(0));
+        let lat: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let stats: Arc<Mutex<TxCasStats>> = Arc::new(Mutex::new(TxCasStats::default()));
+        let programs: Vec<Program> = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let lat = Arc::clone(&lat);
+                let stats = Arc::clone(&stats);
+                Box::new(move |ctx: &mut SimCtx| {
+                    let a = shared.load(SeqCst);
+                    ctx.barrier();
+                    let mut st = TxCasStats::default();
+                    let t0 = ctx.now();
+                    for _ in 0..ops {
+                        let old = ctx.read(a);
+                        txn_cas(ctx, &TxCasParams::default(), a, old, old + 1, &mut st);
+                    }
+                    lat.lock().unwrap().push(ctx.now() - t0);
+                    let mut s = stats.lock().unwrap();
+                    s.retries += st.retries;
+                    s.success += st.success;
+                }) as Program
+            })
+            .collect();
+        let s2 = Arc::clone(&shared);
+        let report = Machine::new(cfg).run(
+            Box::new(move |ctx| {
+                let a = ctx.alloc(1);
+                ctx.write(a, 0);
+                s2.store(a, SeqCst);
+            }),
+            programs,
+        );
+        let total: u64 = lat.lock().unwrap().iter().sum();
+        let st = stats.lock().unwrap();
+        println!(
+            "{fix}\t{:.1}\t{}\t{:.3}",
+            cycles_to_ns(total) / (ops * threads as u64) as f64,
+            report.stats.tripped_writers,
+            st.retries as f64 / (ops * threads as u64) as f64,
+        );
+    }
+}
+
+/// §5.3.4: basket capacity B vs enqueue latency (O(B/T) initialization).
+pub fn ablate_basket() {
+    let ops = env_u64("SBQ_OPS", 200);
+    // Axis 1: oversizing the basket at fixed threads. The algorithm gives
+    // every enqueuer a private cell, so capacity < threads is structurally
+    // unsupported — the sweep starts at the thread count.
+    let t = *thread_counts(&[16]).last().unwrap_or(&16);
+    println!("# Ablation: basket capacity vs SBQ-HTM enqueue latency at {t} threads (B >= T)");
+    header(&["capacity", "latency_ns", "throughput_mops"]);
+    for cap in [t, t * 2, 44.max(t), 88.max(t), 176.max(t)] {
+        let mut w = paper_workload(WorkloadKind::ProducerOnly, t, ops);
+        w.qp.basket_capacity = cap;
+        w.qp.enqueuers = t;
+        let m = run_workload(QueueKind::SbqHtm, &w);
+        println!("{cap}\t{:.1}\t{:.3}", m.latency_ns, m.throughput_mops);
+    }
+    // Axis 2: the §5.3.4 claim — with B fixed at the machine width (44),
+    // amortized basket initialization is O(B/T), so enqueue latency falls
+    // as threads grow.
+    println!("# Ablation: fixed B=44, latency vs enqueuer count (O(B/T) amortization)");
+    header(&["threads", "latency_ns"]);
+    for threads in [2usize, 4, 8, 16, 32, 44] {
+        let mut w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
+        w.qp.basket_capacity = 44;
+        w.qp.enqueuers = threads;
+        let m = run_workload(QueueKind::SbqHtm, &w);
+        println!("{threads}\t{:.1}", m.latency_ns);
+    }
+}
+
+/// §8 future work: scalable-dequeue basket. Compares the stock SBQ basket
+/// (FAA-ticketed extraction) against the experimental striped basket on
+/// the consumer-only workload, where the FAA is the bottleneck (§5.3.4).
+pub fn ablate_deq() {
+    use crate::simq::{SbqHtmSim, SbqStripedSim};
+    use crate::workload::run_generic;
+    let ops = env_u64("SBQ_OPS", 150);
+    println!("# Ablation (§8 future work): dequeue-side basket design, consumer-only workload");
+    header(&["threads", "SBQ-basket[ns/op]", "Striped-basket[ns/op]"]);
+    for &t in &thread_counts(&[2, 8, 16, 32, 44]) {
+        let w = paper_workload(WorkloadKind::ConsumerOnly, t, ops);
+        let a = run_generic::<SbqHtmSim>(&w);
+        let b = run_generic::<SbqStripedSim>(&w);
+        println!("{t}\t{:.1}\t{:.1}", a.latency_ns, b.latency_ns);
+    }
+}
+
+/// Runs every figure in sequence (the `cargo bench` entry point).
+pub fn all() {
+    fig1();
+    println!();
+    fig2();
+    fig3();
+    fig5();
+    println!();
+    fig6();
+    println!();
+    fig7();
+    println!();
+    speedups();
+    println!();
+    ablate_delay();
+    println!();
+    ablate_fix();
+    println!();
+    ablate_basket();
+    println!();
+    ablate_deq();
+}

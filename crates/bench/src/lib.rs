@@ -1,0 +1,39 @@
+//! # bench — the harness that regenerates the paper's evaluation
+//!
+//! One module per concern:
+//!
+//! * [`simq`] — uniform adapters running every evaluated queue on the
+//!   coherence simulator;
+//! * [`workload`] — the paper's three workloads (§6.1): producer-only,
+//!   consumer-only (pre-filled), and mixed with producers and consumers on
+//!   separate sockets;
+//! * [`fig`] — drivers that print each figure's data series as TSV
+//!   (figure id → DESIGN.md §4 maps it to the paper).
+//!
+//! The binary `figures` exposes the drivers as subcommands; the
+//! `paper_figures` bench target runs all of them at reduced scale so
+//! `cargo bench` reproduces the full evaluation. Scale knobs:
+//! `SBQ_OPS` (operations per thread) and `SBQ_THREADS`
+//! (comma-separated thread counts).
+
+pub mod fig;
+pub mod simq;
+pub mod trace_render;
+pub mod workload;
+
+/// Reads a scale knob from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Thread counts to sweep, from `SBQ_THREADS` (comma-separated) or the
+/// default list.
+pub fn thread_counts(default: &[usize]) -> Vec<usize> {
+    match std::env::var("SBQ_THREADS") {
+        Ok(s) => s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+        Err(_) => default.to_vec(),
+    }
+}

@@ -1,0 +1,346 @@
+//! Uniform adapters for running the evaluated queues on the coherence
+//! simulator. Each adapter publishes itself as a descriptor address
+//! created in the setup phase and re-attached by every measured thread.
+
+use absmem::{DelayedCas, StandardCas};
+use baselines::{CcHandle, CcQueue, MsQueue, WfHandle, WfQueue};
+use coherence::SimCtx;
+use sbq::basket::SbqBasket;
+use sbq::modular::{EnqueuerState, ModularQueue, QueueConfig};
+use sbq::txcas::{TxCas, TxCasParams};
+
+/// Queue construction parameters shared across the suite.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueParams {
+    /// Protector-array size: total threads attached to the queue.
+    pub max_threads: usize,
+    /// Active enqueuers (bounds the basket extraction scan, §6.1).
+    pub enqueuers: usize,
+    /// Basket cell count (the paper fixes 44).
+    pub basket_capacity: usize,
+    /// TxCAS tuning for SBQ-HTM.
+    pub txcas: TxCasParams,
+    /// Delay for SBQ-CAS (the paper gives it the same delay as TxCAS).
+    pub delay_cycles: u64,
+    /// Run the epoch reclaimer.
+    pub reclaim: bool,
+}
+
+impl Default for QueueParams {
+    fn default() -> Self {
+        QueueParams {
+            max_threads: 64,
+            enqueuers: 64,
+            basket_capacity: 44,
+            txcas: TxCasParams::default(),
+            delay_cycles: TxCasParams::default().intra_delay,
+            reclaim: true,
+        }
+    }
+}
+
+impl QueueParams {
+    fn queue_config(&self) -> QueueConfig {
+        QueueConfig {
+            max_threads: self.max_threads,
+            reclaim: self.reclaim,
+            poison_on_free: false,
+        }
+    }
+
+    fn basket(&self) -> SbqBasket {
+        SbqBasket::with_inserters(
+            self.basket_capacity,
+            self.enqueuers.min(self.basket_capacity),
+        )
+    }
+}
+
+/// A queue runnable on the simulator with per-thread state.
+pub trait SimQueue: Sized {
+    /// Human-readable series name (matches the paper's legend).
+    const NAME: &'static str;
+
+    /// Creates the queue in the setup phase; returns its descriptor base.
+    fn create(ctx: &mut SimCtx, p: &QueueParams) -> u64;
+
+    /// Re-attaches a measured thread to the published queue.
+    fn attach(base: u64, ctx: &mut SimCtx, p: &QueueParams) -> Self;
+
+    /// Enqueues a value (nonzero, below the basket element max).
+    fn enqueue(&mut self, ctx: &mut SimCtx, v: u64);
+
+    /// Dequeues a value.
+    fn dequeue(&mut self, ctx: &mut SimCtx) -> Option<u64>;
+}
+
+/// SBQ-HTM: scalable basket + TxCAS (the contribution).
+pub struct SbqHtmSim {
+    q: ModularQueue<SbqBasket, TxCas>,
+    st: EnqueuerState,
+}
+
+impl SimQueue for SbqHtmSim {
+    const NAME: &'static str = "SBQ-HTM";
+
+    fn create(ctx: &mut SimCtx, p: &QueueParams) -> u64 {
+        ModularQueue::new(ctx, p.basket(), TxCas::new(p.txcas), p.queue_config()).base()
+    }
+
+    fn attach(base: u64, ctx: &mut SimCtx, p: &QueueParams) -> Self {
+        let _ = ctx;
+        SbqHtmSim {
+            q: ModularQueue::from_base(base, p.basket(), TxCas::new(p.txcas), p.queue_config()),
+            st: EnqueuerState::default(),
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut SimCtx, v: u64) {
+        self.q.enqueue(ctx, &mut self.st, v)
+    }
+
+    fn dequeue(&mut self, ctx: &mut SimCtx) -> Option<u64> {
+        self.q.dequeue(ctx)
+    }
+}
+
+/// SBQ-CAS: scalable basket + delayed plain CAS (the control).
+pub struct SbqCasSim {
+    q: ModularQueue<SbqBasket, DelayedCas>,
+    st: EnqueuerState,
+}
+
+impl SimQueue for SbqCasSim {
+    const NAME: &'static str = "SBQ-CAS";
+
+    fn create(ctx: &mut SimCtx, p: &QueueParams) -> u64 {
+        let strat = DelayedCas {
+            delay_cycles: p.delay_cycles,
+        };
+        ModularQueue::new(ctx, p.basket(), strat, p.queue_config()).base()
+    }
+
+    fn attach(base: u64, ctx: &mut SimCtx, p: &QueueParams) -> Self {
+        let _ = ctx;
+        let strat = DelayedCas {
+            delay_cycles: p.delay_cycles,
+        };
+        SbqCasSim {
+            q: ModularQueue::from_base(base, p.basket(), strat, p.queue_config()),
+            st: EnqueuerState::default(),
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut SimCtx, v: u64) {
+        self.q.enqueue(ctx, &mut self.st, v)
+    }
+
+    fn dequeue(&mut self, ctx: &mut SimCtx) -> Option<u64> {
+        self.q.dequeue(ctx)
+    }
+}
+
+/// SBQ-HTM with the experimental striped basket (the paper's §8 future
+/// work: scalable dequeues). Compared against the stock basket by the
+/// `ablate-deq` driver.
+pub struct SbqStripedSim {
+    q: ModularQueue<sbq::StripedBasket, TxCas>,
+    st: EnqueuerState,
+}
+
+impl SbqStripedSim {
+    fn basket(p: &QueueParams) -> sbq::StripedBasket {
+        sbq::StripedBasket::with_inserters(p.basket_capacity, p.enqueuers.min(p.basket_capacity))
+    }
+}
+
+impl SimQueue for SbqStripedSim {
+    const NAME: &'static str = "SBQ-Striped";
+
+    fn create(ctx: &mut SimCtx, p: &QueueParams) -> u64 {
+        ModularQueue::new(ctx, Self::basket(p), TxCas::new(p.txcas), p.queue_config()).base()
+    }
+
+    fn attach(base: u64, ctx: &mut SimCtx, p: &QueueParams) -> Self {
+        let _ = ctx;
+        SbqStripedSim {
+            q: ModularQueue::from_base(
+                base,
+                Self::basket(p),
+                TxCas::new(p.txcas),
+                p.queue_config(),
+            ),
+            st: EnqueuerState::default(),
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut SimCtx, v: u64) {
+        self.q.enqueue(ctx, &mut self.st, v)
+    }
+
+    fn dequeue(&mut self, ctx: &mut SimCtx) -> Option<u64> {
+        self.q.dequeue(ctx)
+    }
+}
+
+/// BQ-Original: LIFO sealed basket + plain CAS.
+pub struct BqOriginalSim {
+    q: baselines::BqOriginal,
+    st: EnqueuerState,
+}
+
+impl SimQueue for BqOriginalSim {
+    const NAME: &'static str = "BQ-Original";
+
+    fn create(ctx: &mut SimCtx, p: &QueueParams) -> u64 {
+        baselines::new_bq_original(ctx, p.queue_config()).base()
+    }
+
+    fn attach(base: u64, ctx: &mut SimCtx, p: &QueueParams) -> Self {
+        let _ = ctx;
+        BqOriginalSim {
+            q: ModularQueue::from_base(base, baselines::LifoBasket, StandardCas, p.queue_config()),
+            st: EnqueuerState::default(),
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut SimCtx, v: u64) {
+        self.q.enqueue(ctx, &mut self.st, v)
+    }
+
+    fn dequeue(&mut self, ctx: &mut SimCtx) -> Option<u64> {
+        self.q.dequeue(ctx)
+    }
+}
+
+/// WF-Queue: the FAA-based comparator.
+pub struct WfSim {
+    q: WfQueue,
+    h: WfHandle,
+}
+
+impl SimQueue for WfSim {
+    const NAME: &'static str = "WF-Queue";
+
+    fn create(ctx: &mut SimCtx, p: &QueueParams) -> u64 {
+        WfQueue::new(ctx, p.max_threads, p.reclaim).base()
+    }
+
+    fn attach(base: u64, ctx: &mut SimCtx, p: &QueueParams) -> Self {
+        let q = WfQueue::from_base(base, p.max_threads, p.reclaim);
+        let h = q.handle(ctx);
+        WfSim { q, h }
+    }
+
+    fn enqueue(&mut self, ctx: &mut SimCtx, v: u64) {
+        self.q.enqueue(ctx, &mut self.h, v)
+    }
+
+    fn dequeue(&mut self, ctx: &mut SimCtx) -> Option<u64> {
+        self.q.dequeue(ctx, &mut self.h)
+    }
+}
+
+/// CC-Queue: the combining comparator.
+pub struct CcSim {
+    q: CcQueue,
+    h: CcHandle,
+}
+
+impl SimQueue for CcSim {
+    const NAME: &'static str = "CC-Queue";
+
+    fn create(ctx: &mut SimCtx, _p: &QueueParams) -> u64 {
+        CcQueue::new(ctx).base()
+    }
+
+    fn attach(base: u64, ctx: &mut SimCtx, _p: &QueueParams) -> Self {
+        let q = CcQueue::from_base(base);
+        let h = q.handle(ctx);
+        CcSim { q, h }
+    }
+
+    fn enqueue(&mut self, ctx: &mut SimCtx, v: u64) {
+        self.q.enqueue(ctx, &mut self.h, v)
+    }
+
+    fn dequeue(&mut self, ctx: &mut SimCtx) -> Option<u64> {
+        self.q.dequeue(ctx, &mut self.h)
+    }
+}
+
+/// Michael–Scott: the classic base case (not in the paper's figures but
+/// useful context and a framework cross-check).
+pub struct MsSim {
+    q: MsQueue,
+}
+
+impl SimQueue for MsSim {
+    const NAME: &'static str = "MS-Queue";
+
+    fn create(ctx: &mut SimCtx, p: &QueueParams) -> u64 {
+        MsQueue::new(ctx, p.max_threads, p.reclaim).base()
+    }
+
+    fn attach(base: u64, _ctx: &mut SimCtx, p: &QueueParams) -> Self {
+        MsSim {
+            q: MsQueue::from_base(base, p.max_threads, p.reclaim),
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut SimCtx, v: u64) {
+        self.q.enqueue(ctx, v)
+    }
+
+    fn dequeue(&mut self, ctx: &mut SimCtx) -> Option<u64> {
+        self.q.dequeue(ctx)
+    }
+}
+
+/// The benchmark suite's queue selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    SbqHtm,
+    SbqCas,
+    BqOriginal,
+    WfQueue,
+    CcQueue,
+    MsQueue,
+}
+
+impl QueueKind {
+    /// The queues of the paper's Figures 5–7, in legend order.
+    pub const PAPER_SET: [QueueKind; 5] = [
+        QueueKind::BqOriginal,
+        QueueKind::CcQueue,
+        QueueKind::SbqCas,
+        QueueKind::SbqHtm,
+        QueueKind::WfQueue,
+    ];
+
+    /// Series name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueueKind::SbqHtm => SbqHtmSim::NAME,
+            QueueKind::SbqCas => SbqCasSim::NAME,
+            QueueKind::BqOriginal => BqOriginalSim::NAME,
+            QueueKind::WfQueue => WfSim::NAME,
+            QueueKind::CcQueue => CcSim::NAME,
+            QueueKind::MsQueue => MsSim::NAME,
+        }
+    }
+
+    /// Parses a series name (case-insensitive, dashes optional).
+    pub fn parse(s: &str) -> Option<QueueKind> {
+        let k = s.to_lowercase().replace(['-', '_'], "");
+        Some(match k.as_str() {
+            "sbqhtm" | "sbq" => QueueKind::SbqHtm,
+            "sbqcas" => QueueKind::SbqCas,
+            "bqoriginal" | "bq" => QueueKind::BqOriginal,
+            "wfqueue" | "wf" => QueueKind::WfQueue,
+            "ccqueue" | "cc" => QueueKind::CcQueue,
+            "msqueue" | "ms" => QueueKind::MsQueue,
+            _ => return None,
+        })
+    }
+}

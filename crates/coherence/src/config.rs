@@ -1,0 +1,186 @@
+//! Machine configuration: topology and timing parameters.
+//!
+//! Defaults are calibrated so that the simulated curves land in the same
+//! regime as the paper's Broadwell measurements (§6.1): a coherence message
+//! delay of "about 15–30 cycles", a 2.2 GHz clock, and a dual-socket
+//! interconnect several times slower than the on-chip one.
+
+/// Nominal clock, GHz, used to convert simulated cycles to nanoseconds.
+pub const GHZ: f64 = 2.2;
+
+/// Converts simulated cycles to nanoseconds at the nominal clock.
+pub fn cycles_to_ns(cycles: u64) -> f64 {
+    cycles as f64 / GHZ
+}
+
+/// Converts nanoseconds to simulated cycles at the nominal clock.
+pub fn ns_to_cycles(ns: f64) -> u64 {
+    (ns * GHZ).round() as u64
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of application cores (hardware threads in the paper's terms —
+    /// we model one hardware thread per simulated core).
+    pub cores: usize,
+    /// Cores per socket; core `c` lives on socket `c / cores_per_socket`.
+    /// The bootstrap core used for pre-run setup lives on socket 0.
+    pub cores_per_socket: usize,
+    /// One-way message delay between nodes on the same socket, cycles.
+    pub hop_intra: u64,
+    /// One-way message delay when crossing the socket interconnect, cycles.
+    pub hop_cross: u64,
+    /// Socket holding the directory/LLC slice for all simulated lines.
+    pub home_socket: usize,
+    /// Directory/LLC-slice occupancy: minimum spacing between two
+    /// requests the directory processes, cycles. Nonzero occupancy is
+    /// what staggers simultaneous requesters on real hardware; with 0 the
+    /// deterministic simulator keeps contending cores in artificial
+    /// lockstep.
+    pub dir_occupancy: u64,
+    /// Private-cache controller occupancy: minimum spacing between two
+    /// *incoming coherence requests* (Fwd-GetS/Fwd-GetM/Inv) one cache
+    /// serves, cycles. Lengthens owner-to-owner handoff chains and
+    /// serializes request funnels to a single owner, as on real parts.
+    pub cache_occupancy: u64,
+    /// Random extension of every `delay()` as a percentage of its length
+    /// (uniform in `0..=pct`), modelling the out-of-order/interrupt noise
+    /// real cores experience. Deterministic per `seed`.
+    pub delay_jitter_pct: u64,
+    /// Cost of a load/store hit in the local cache, cycles.
+    pub hit_cycles: u64,
+    /// Execution cost of an atomic RMW once the line is owned, cycles.
+    pub rmw_cycles: u64,
+    /// Fixed per-operation front-end cost charged when a thread issues any
+    /// memory operation, cycles.
+    pub op_cycles: u64,
+    /// Cost of an allocator call (simalloc fast path), cycles.
+    pub alloc_cycles: u64,
+    /// Cost of `_xbegin`, cycles.
+    pub xbegin_cycles: u64,
+    /// Cost of a committing `_xend`, cycles (on top of waiting for the
+    /// write's GetM to complete).
+    pub xend_cycles: u64,
+    /// Grant the MESI Exclusive state on a sole-reader GetS, letting the
+    /// owner upgrade to Modified silently (no GetM) on its first write.
+    /// The paper's analysis is protocol-family-independent ("applies to
+    /// the MOESI and MESIF protocols used commercially", §3.1); this flag
+    /// exists to demonstrate that: contended behaviour — the subject of
+    /// every figure — is unchanged, only uncontended read-then-write
+    /// sequences save a directory round trip. Default off so the
+    /// calibrated baseline stays the paper's MSI model.
+    pub mesi_exclusive: bool,
+    /// Enable the paper's §3.4.1 microarchitectural fix: a Fwd-GetS that
+    /// reaches a core blocked in `_xend` with a single pending GetM is
+    /// stalled until the transaction commits instead of aborting it.
+    pub microarch_fix: bool,
+    /// Probability that a transaction suffers a spurious (non-conflict)
+    /// abort at `_xend`, modelling interrupts and other
+    /// implementation-specific aborts. 0.0 disables.
+    pub spurious_abort_prob: f64,
+    /// RNG seed for spurious aborts (and nothing else — the simulator is
+    /// otherwise deterministic).
+    pub seed: u64,
+    /// Record a full message/transaction trace (costly; for the Figure 2/3
+    /// reproductions and debugging).
+    pub trace: bool,
+    /// Verify protocol invariants (single-writer/multi-reader, dir/cache
+    /// agreement) after every event. On by default in debug builds.
+    pub check_invariants: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cores: 4,
+            cores_per_socket: 44,
+            hop_intra: 25,
+            hop_cross: 110,
+            home_socket: 0,
+            dir_occupancy: 4,
+            cache_occupancy: 8,
+            delay_jitter_pct: 20,
+            hit_cycles: 4,
+            rmw_cycles: 15,
+            op_cycles: 2,
+            alloc_cycles: 30,
+            xbegin_cycles: 12,
+            xend_cycles: 12,
+            mesi_exclusive: false,
+            microarch_fix: false,
+            spurious_abort_prob: 0.0,
+            seed: 0x5b90,
+            trace: false,
+            check_invariants: cfg!(debug_assertions),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A single-socket machine with `cores` cores (the paper's
+    /// intra-processor evaluation setup).
+    pub fn single_socket(cores: usize) -> Self {
+        MachineConfig {
+            cores,
+            cores_per_socket: cores.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// A dual-socket machine with `per_socket` cores on each socket
+    /// (the paper's mixed-workload setup).
+    pub fn dual_socket(per_socket: usize) -> Self {
+        MachineConfig {
+            cores: per_socket * 2,
+            cores_per_socket: per_socket,
+            ..Default::default()
+        }
+    }
+
+    /// Socket of core `c`. The bootstrap core (index == `cores`) is mapped
+    /// to socket 0.
+    pub fn socket_of(&self, core: usize) -> usize {
+        if core >= self.cores {
+            0
+        } else {
+            core / self.cores_per_socket
+        }
+    }
+
+    /// One-way latency between two sockets.
+    pub fn hop(&self, s1: usize, s2: usize) -> u64 {
+        if s1 == s2 {
+            self.hop_intra
+        } else {
+            self.hop_cross
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_mapping() {
+        let c = MachineConfig::dual_socket(4);
+        assert_eq!(c.socket_of(0), 0);
+        assert_eq!(c.socket_of(3), 0);
+        assert_eq!(c.socket_of(4), 1);
+        assert_eq!(c.socket_of(7), 1);
+        assert_eq!(c.socket_of(8), 0, "bootstrap core is on socket 0");
+    }
+
+    #[test]
+    fn hop_latency_depends_on_socket() {
+        let c = MachineConfig::dual_socket(2);
+        assert_eq!(c.hop(0, 0), c.hop_intra);
+        assert_eq!(c.hop(0, 1), c.hop_cross);
+    }
+
+    #[test]
+    fn cycles_ns_roundtrip() {
+        assert_eq!(ns_to_cycles(cycles_to_ns(2200)), 2200);
+    }
+}

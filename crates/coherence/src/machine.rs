@@ -1,0 +1,482 @@
+//! The machine runner: executes thread *programs* (plain Rust closures)
+//! against the protocol engine.
+//!
+//! Each simulated core is backed by one OS thread. Exactly one simulated
+//! thread runs at any wall-clock instant: the scheduler resumes a thread by
+//! sending it the response to its last memory operation, then blocks until
+//! that thread either submits its next operation or finishes. All other
+//! ordering comes from the discrete-event queue, so a run is fully
+//! deterministic for a given configuration and program set.
+//!
+//! Programs see a [`SimCtx`], which implements [`absmem::ThreadCtx`] plus
+//! the raw HTM operations (`tx_begin` / `tx_end` / `tx_abort` and
+//! fallible transactional loads/stores). The friendlier RTM-style
+//! combinators live in the `htm` crate.
+
+use crate::config::MachineConfig;
+use crate::sim::{OpKind, OpOutcome, Sim};
+use crate::stats::RunReport;
+use crate::txn::{Abort, TxResult};
+use simalloc::{ThreadCache, WordPool};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+/// A thread program: a closure run to completion on a simulated core.
+pub type Program = Box<dyn FnOnce(&mut SimCtx) + Send>;
+
+enum Req {
+    Op {
+        core: usize,
+        at: u64,
+        op: OpKind,
+    },
+    Alloc {
+        core: usize,
+        at: u64,
+        words: usize,
+    },
+    Free {
+        core: usize,
+        at: u64,
+        addr: u64,
+        words: usize,
+    },
+    Barrier {
+        core: usize,
+        at: u64,
+    },
+    Finished {
+        core: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Resp {
+    Val { v: u64, now: u64 },
+    Aborted { status: u32, now: u64 },
+}
+
+/// The per-thread handle programs use to touch simulated memory.
+pub struct SimCtx {
+    core: usize,
+    /// Logical thread id (dense over the *application* threads; the
+    /// bootstrap core reuses id 0 but runs alone).
+    tid: usize,
+    local_time: u64,
+    req_tx: Sender<Req>,
+    resp_rx: Receiver<Resp>,
+}
+
+impl SimCtx {
+    fn roundtrip(&mut self, op: OpKind) -> Resp {
+        self.req_tx
+            .send(Req::Op {
+                core: self.core,
+                at: self.local_time,
+                op,
+            })
+            .expect("scheduler gone");
+        let resp = self.resp_rx.recv().expect("scheduler gone");
+        match resp {
+            Resp::Val { now, .. } | Resp::Aborted { now, .. } => self.local_time = now,
+        }
+        resp
+    }
+
+    fn infallible(&mut self, op: OpKind) -> u64 {
+        match self.roundtrip(op) {
+            Resp::Val { v, .. } => v,
+            Resp::Aborted { .. } => {
+                panic!(
+                    "abort delivered outside a transaction (use the tx_* API inside transactions)"
+                )
+            }
+        }
+    }
+
+    fn fallible(&mut self, op: OpKind) -> TxResult<u64> {
+        match self.roundtrip(op) {
+            Resp::Val { v, .. } => Ok(v),
+            Resp::Aborted { status, .. } => Err(Abort { status }),
+        }
+    }
+
+    /// The simulated core this thread is pinned to.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    // ---- raw HTM interface (used by the `htm` crate) ----
+
+    /// Starts a (possibly nested) transaction.
+    pub fn tx_begin(&mut self) -> TxResult<()> {
+        self.fallible(OpKind::TxBegin).map(|_| ())
+    }
+
+    /// Commits the innermost transaction. At top level this waits for the
+    /// transactional write's GetM to complete (the store-buffer drain) and
+    /// can therefore abort.
+    pub fn tx_end(&mut self) -> TxResult<()> {
+        self.fallible(OpKind::TxEnd).map(|_| ())
+    }
+
+    /// Explicitly aborts the running transaction with `code`; never
+    /// returns normally.
+    pub fn tx_abort(&mut self, code: u8) -> Abort {
+        match self.fallible(OpKind::TxAbort(code)) {
+            Err(a) => a,
+            Ok(_) => unreachable!("xabort committed"),
+        }
+    }
+
+    /// Transactional load.
+    pub fn tx_read(&mut self, a: u64) -> TxResult<u64> {
+        self.fallible(OpKind::Read(a))
+    }
+
+    /// Transactional store.
+    pub fn tx_write(&mut self, a: u64, v: u64) -> TxResult<()> {
+        self.fallible(OpKind::Write(a, v)).map(|_| ())
+    }
+
+    /// In-transaction delay, interruptible by an abort (the paper's
+    /// intra-transaction delay of §4.1 relies on this: a delaying
+    /// transaction is aborted the moment a winner's invalidation arrives).
+    pub fn tx_delay(&mut self, cycles: u64) -> TxResult<()> {
+        self.fallible(OpKind::Delay(cycles)).map(|_| ())
+    }
+
+    /// True while inside a transaction? Not exposed: programs track their
+    /// own nesting via the `htm` combinators.
+    #[doc(hidden)]
+    pub fn local_time(&self) -> u64 {
+        self.local_time
+    }
+
+    /// Blocks until every live application thread has reached a barrier;
+    /// all participants resume with the same (maximal) local time. Useful
+    /// for phased benchmark workloads (pre-fill, then measure). Do not mix
+    /// barriers with threads that finish before reaching them.
+    pub fn barrier(&mut self) {
+        self.req_tx
+            .send(Req::Barrier {
+                core: self.core,
+                at: self.local_time,
+            })
+            .expect("scheduler gone");
+        match self.resp_rx.recv().expect("scheduler gone") {
+            Resp::Val { now, .. } => self.local_time = now,
+            Resp::Aborted { .. } => panic!("barrier inside a transaction"),
+        }
+    }
+}
+
+impl absmem::ThreadCtx for SimCtx {
+    fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    fn read(&mut self, a: u64) -> u64 {
+        self.infallible(OpKind::Read(a))
+    }
+
+    fn write(&mut self, a: u64, v: u64) {
+        self.infallible(OpKind::Write(a, v));
+    }
+
+    fn cas(&mut self, a: u64, old: u64, new: u64) -> bool {
+        self.infallible(OpKind::Cas(a, old, new)) == 1
+    }
+
+    fn faa(&mut self, a: u64, v: u64) -> u64 {
+        self.infallible(OpKind::Faa(a, v))
+    }
+
+    fn swap(&mut self, a: u64, v: u64) -> u64 {
+        self.infallible(OpKind::Swap(a, v))
+    }
+
+    fn delay(&mut self, cycles: u64) {
+        self.infallible(OpKind::Delay(cycles));
+    }
+
+    fn alloc(&mut self, words: usize) -> u64 {
+        self.req_tx
+            .send(Req::Alloc {
+                core: self.core,
+                at: self.local_time,
+                words,
+            })
+            .expect("scheduler gone");
+        match self.resp_rx.recv().expect("scheduler gone") {
+            Resp::Val { v, now } => {
+                self.local_time = now;
+                v
+            }
+            Resp::Aborted { .. } => panic!("alloc inside a transaction"),
+        }
+    }
+
+    fn free(&mut self, a: u64, words: usize) {
+        self.req_tx
+            .send(Req::Free {
+                core: self.core,
+                at: self.local_time,
+                addr: a,
+                words,
+            })
+            .expect("scheduler gone");
+        match self.resp_rx.recv().expect("scheduler gone") {
+            Resp::Val { now, .. } => self.local_time = now,
+            Resp::Aborted { .. } => panic!("free inside a transaction"),
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.local_time
+    }
+}
+
+/// The simulated multicore machine.
+pub struct Machine {
+    cfg: MachineConfig,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        Machine { cfg }
+    }
+
+    /// Runs `setup` to completion on the bootstrap core (socket 0), then
+    /// runs all `programs` concurrently, program `i` pinned to core `i`.
+    /// Returns the run report; per-program results travel through whatever
+    /// shared state the caller captured in the closures.
+    pub fn run(self, setup: Program, programs: Vec<Program>) -> RunReport {
+        let cfg = self.cfg;
+        assert!(
+            programs.len() <= cfg.cores,
+            "more programs ({}) than cores ({})",
+            programs.len(),
+            cfg.cores
+        );
+        let nprogs = programs.len();
+        let boot_core = cfg.cores;
+        let mut sim = Sim::new(cfg.clone());
+        let pool = Arc::new(WordPool::new(8));
+        let mut alloc_caches: Vec<ThreadCache> =
+            (0..=cfg.cores).map(|_| pool.thread_cache()).collect();
+
+        let (req_tx, req_rx) = std::sync::mpsc::channel::<Req>();
+        let mut resp_txs: Vec<Option<Sender<Resp>>> = (0..=cfg.cores).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            // Phase 1: bootstrap/setup program, alone on the machine.
+            {
+                let (tx, rx) = std::sync::mpsc::channel::<Resp>();
+                resp_txs[boot_core] = Some(tx);
+                let mut ctx = SimCtx {
+                    core: boot_core,
+                    tid: 0,
+                    local_time: 0,
+                    req_tx: req_tx.clone(),
+                    resp_rx: rx,
+                };
+                let handle = scope.spawn(move || {
+                    setup(&mut ctx);
+                    ctx.req_tx
+                        .send(Req::Finished { core: ctx.core })
+                        .expect("scheduler gone");
+                });
+                let mut live = 1usize;
+                pump_guarded(
+                    &mut sim,
+                    &req_rx,
+                    &mut resp_txs,
+                    &mut alloc_caches,
+                    &mut live,
+                );
+                handle.join().expect("setup program panicked");
+            }
+
+            // Phase 2: the measured programs, all starting at the same
+            // simulated instant.
+            let t0 = sim.now();
+            let mut handles = Vec::with_capacity(nprogs);
+            for (i, prog) in programs.into_iter().enumerate() {
+                let (tx, rx) = std::sync::mpsc::channel::<Resp>();
+                resp_txs[i] = Some(tx);
+                let mut ctx = SimCtx {
+                    core: i,
+                    tid: i,
+                    local_time: t0,
+                    req_tx: req_tx.clone(),
+                    resp_rx: rx,
+                };
+                handles.push(scope.spawn(move || {
+                    prog(&mut ctx);
+                    let end = ctx.local_time;
+                    ctx.req_tx
+                        .send(Req::Finished { core: ctx.core })
+                        .expect("scheduler gone");
+                    end
+                }));
+            }
+            let mut live = nprogs;
+            pump_guarded(
+                &mut sim,
+                &req_rx,
+                &mut resp_txs,
+                &mut alloc_caches,
+                &mut live,
+            );
+            let core_end: Vec<u64> = handles
+                .into_iter()
+                .map(|h| h.join().expect("program panicked"))
+                .collect();
+            RunReport {
+                end_time: sim.now(),
+                core_end,
+                stats: sim.stats,
+                trace: sim.trace,
+            }
+        })
+    }
+}
+
+/// Runs [`pump`] with panic containment: if the scheduler panics (a
+/// protocol invariant violation), every response channel is dropped first
+/// so blocked program threads exit and `thread::scope` can join them —
+/// otherwise the panic would deadlock the scope instead of surfacing.
+fn pump_guarded(
+    sim: &mut Sim,
+    req_rx: &Receiver<Req>,
+    resp_txs: &mut [Option<Sender<Resp>>],
+    alloc_caches: &mut [ThreadCache],
+    live: &mut usize,
+) {
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pump(sim, req_rx, resp_txs, alloc_caches, live)
+    }));
+    if let Err(payload) = r {
+        for tx in resp_txs.iter_mut() {
+            *tx = None;
+        }
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Drives the event loop until all `live` threads have finished.
+fn pump(
+    sim: &mut Sim,
+    req_rx: &Receiver<Req>,
+    resp_txs: &mut [Option<Sender<Resp>>],
+    alloc_caches: &mut [ThreadCache],
+    live: &mut usize,
+) {
+    let mut barrier: Vec<(usize, u64)> = Vec::new();
+    // Collect the initial request from every live thread (they all start
+    // running immediately after spawn).
+    for _ in 0..*live {
+        let req = req_rx.recv().expect("thread died before first request");
+        admit(sim, req, req_rx, resp_txs, alloc_caches, live, &mut barrier);
+    }
+    while *live > 0 {
+        let progressed = sim.step();
+        assert!(progressed, "deadlock: live threads but no events");
+        // Each resume un-blocks exactly one thread; synchronously exchange
+        // the response for that thread's next request.
+        let resumes: Vec<_> = sim.resumes.drain(..).collect();
+        for r in resumes {
+            let resp = match r.outcome {
+                OpOutcome::Val(v) => Resp::Val { v, now: r.time },
+                OpOutcome::Aborted(status) => Resp::Aborted {
+                    status,
+                    now: r.time,
+                },
+            };
+            resp_txs[r.core]
+                .as_ref()
+                .expect("resume for dead core")
+                .send(resp)
+                .expect("thread hung up");
+            let req = req_rx.recv().expect("thread died mid-run");
+            admit(sim, req, req_rx, resp_txs, alloc_caches, live, &mut barrier);
+        }
+    }
+    assert!(barrier.is_empty(), "threads stuck at a barrier at shutdown");
+}
+
+/// Feeds one thread request into the engine (or retires the thread).
+/// Allocator calls are served synchronously — they never touch coherent
+/// memory — so this loops, exchanging with the same (only runnable) thread
+/// until it submits a memory operation or finishes.
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    sim: &mut Sim,
+    first: Req,
+    req_rx: &Receiver<Req>,
+    resp_txs: &mut [Option<Sender<Resp>>],
+    alloc_caches: &mut [ThreadCache],
+    live: &mut usize,
+    barrier: &mut Vec<(usize, u64)>,
+) {
+    let mut req = first;
+    loop {
+        match req {
+            Req::Op { core, at, op } => {
+                sim.submit_op(core, at, op);
+                return;
+            }
+            Req::Barrier { core, at } => {
+                barrier.push((core, at));
+                if barrier.len() == *live {
+                    // Everyone arrived: release all participants at the
+                    // maximal local time and synchronously exchange each
+                    // release for that thread's next request.
+                    let tmax = barrier.iter().map(|&(_, t)| t).max().unwrap();
+                    let waiters = std::mem::take(barrier);
+                    for (c, _) in waiters {
+                        resp_txs[c]
+                            .as_ref()
+                            .expect("barrier waiter died")
+                            .send(Resp::Val { v: 0, now: tmax })
+                            .expect("thread hung up");
+                        let next = req_rx.recv().expect("thread died at barrier");
+                        admit(sim, next, req_rx, resp_txs, alloc_caches, live, barrier);
+                    }
+                }
+                return;
+            }
+            Req::Alloc { core, at, words } => {
+                let addr = alloc_caches[core].alloc(words);
+                let now = at + sim.cfg.alloc_cycles;
+                resp_txs[core]
+                    .as_ref()
+                    .unwrap()
+                    .send(Resp::Val { v: addr, now })
+                    .expect("thread hung up");
+            }
+            Req::Free {
+                core,
+                at,
+                addr,
+                words,
+            } => {
+                alloc_caches[core].free(addr, words);
+                let now = at + sim.cfg.alloc_cycles;
+                resp_txs[core]
+                    .as_ref()
+                    .unwrap()
+                    .send(Resp::Val { v: 0, now })
+                    .expect("thread hung up");
+            }
+            Req::Finished { core } => {
+                resp_txs[core] = None;
+                *live -= 1;
+                return;
+            }
+        }
+        req = req_rx.recv().expect("thread died mid-run");
+    }
+}

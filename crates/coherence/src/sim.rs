@@ -1,0 +1,1450 @@
+//! The protocol engine: directory, private caches, HTM conflict handling,
+//! and the discrete-event core.
+//!
+//! Everything here runs on the scheduler thread; application threads only
+//! see [`crate::machine::SimCtx`]. The engine models the dynamics the paper
+//! analyzes in §3:
+//!
+//! * contended atomic RMWs serialize through an owner-to-owner Fwd-GetM
+//!   handoff chain, giving the ≈(C+1)/2-message-delay average latency of
+//!   §3.2;
+//! * HTM transactions mark lines transactional and abort on receipt of a
+//!   conflicting coherence message (requester-wins), so the back-to-back
+//!   invalidations of a single winning GetM abort all read-phase
+//!   transactions *concurrently* (§3.3);
+//! * a Fwd-GetS that reaches a core whose transactional write is still
+//!   waiting for invalidation acks aborts it — the tripped writer (§3.4) —
+//!   unless the §3.4.1 microarchitectural fix is enabled, in which case the
+//!   request is stalled until the commit.
+//!
+//! ### Commit atomicity
+//!
+//! On real hardware the transactional store retires into the store buffer
+//! immediately and `_xend` blocks until the GetM completes, so the commit
+//! is atomic with request completion (§3.4.1). In this engine the *write*
+//! operation blocks the thread until ownership instead, which opens a
+//! few-cycle simulated window between write completion and the `xend`
+//! request. To keep the paper's "the first GetM winner commits" behaviour
+//! exact, Fwd requests arriving for a transactionally written line whose
+//! ownership is already held are stalled until commit/abort rather than
+//! aborting the transaction; the true tripped-writer abort is the Fwd-GetS
+//! that arrives while the GetM is still pending.
+
+use crate::config::MachineConfig;
+use crate::msg::{Msg, Node};
+use crate::stats::{Stats, TraceEvent};
+use crate::txn::{self};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+
+/// Stable state of a line in a private cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CState {
+    Invalid,
+    Shared,
+    /// MESI Exclusive: sole clean copy; silent upgrade to Modified on
+    /// write (only granted when `MachineConfig::mesi_exclusive` is set).
+    Exclusive,
+    Modified,
+}
+
+impl CState {
+    /// Can the holder write without a coherence transaction?
+    fn writable(self) -> bool {
+        matches!(self, CState::Exclusive | CState::Modified)
+    }
+}
+
+/// A line resident in a private cache. Capacity is not modelled: the
+/// working sets of the paper's benchmarks (a few contended words per
+/// operation) never approach L1 capacity, and HTM capacity aborts are
+/// represented by the configurable spurious-abort rate instead.
+#[derive(Debug, Clone)]
+struct CacheLine {
+    state: CState,
+    value: u64,
+    /// Line is in the running transaction's read set.
+    tr: bool,
+    /// Line is in the running transaction's write set with the write
+    /// applied (value holds the transactional, uncommitted datum).
+    tw: bool,
+    /// Pre-transaction value to restore if the transaction aborts after
+    /// the write was applied.
+    clean: u64,
+}
+
+/// What the blocked thread wants done when its coherence request completes.
+#[derive(Debug, Clone, Copy)]
+enum Waiter {
+    Read,
+    Write(u64),
+    Cas {
+        old: u64,
+        new: u64,
+    },
+    Faa(u64),
+    Swap(u64),
+    /// A transactional write: applied only if the transaction is still
+    /// live when ownership arrives.
+    TxWrite(u64),
+}
+
+/// An outstanding coherence request. A core has at most one request its
+/// thread is *blocked on*, plus any number of *headless* requests left
+/// behind by aborted transactions (§3.3: the cache still takes ownership,
+/// asynchronously, while the core moves on).
+#[derive(Debug)]
+struct PendingReq {
+    line: u64,
+    is_getm: bool,
+    have_data: bool,
+    value: u64,
+    acks_expected: Option<u64>,
+    acks_got: u64,
+    /// The directory granted Exclusive on this (GetS) response.
+    got_excl: bool,
+    /// `None` once the issuing transaction aborted: the request finishes
+    /// headless (the cache still takes ownership — §3.3's pending-GetM
+    /// effect — but no thread is resumed).
+    waiter: Option<Waiter>,
+}
+
+/// Running-transaction bookkeeping.
+#[derive(Debug, Default)]
+struct Txn {
+    depth: u32,
+    read_set: BTreeSet<u64>,
+    write_set: BTreeSet<u64>,
+}
+
+/// Where a core's thread currently is, from the engine's point of view.
+/// Exactly one response is owed to the thread whenever the state is not
+/// `Idle`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpState {
+    /// No outstanding operation (finished, or response already queued).
+    Idle,
+    /// The thread submitted an op whose `IssueOp` event has not fired yet.
+    Inbox,
+    /// `begin_op` is on the stack for this core.
+    Current,
+    /// Blocked in a `delay()`.
+    Delaying,
+    /// Blocked on the pending coherence request.
+    PendingWait,
+    /// An RMW is executing (`RmwDone` scheduled).
+    RmwExec,
+}
+
+/// One core's private cache controller plus HTM state.
+#[derive(Debug)]
+struct Cache {
+    lines: HashMap<u64, CacheLine>,
+    /// Outstanding coherence requests, keyed by line: at most one the
+    /// thread waits on (waiter set / deferred op), plus headless ones.
+    pending: HashMap<u64, PendingReq>,
+    /// A thread operation deferred because a (headless) request for its
+    /// line is already in flight; re-dispatched at that request's
+    /// completion (the MSHR-merge a real core performs).
+    deferred: Option<OpKind>,
+    deferred_line: u64,
+    /// Coherence requests stalled behind a pending request / executing RMW
+    /// / committing transaction, in arrival order.
+    stalled: VecDeque<Msg>,
+    /// An RMW is executing (between data arrival and `RmwDone`): incoming
+    /// Fwd requests must wait (§3.2).
+    rmw_busy: bool,
+    /// Line the executing RMW targets (valid while `rmw_busy`).
+    rmw_line: u64,
+    txn: Option<Txn>,
+    /// Abort detected while the thread's next op sat in the inbox; reported
+    /// when that op issues.
+    pending_abort: Option<u32>,
+    /// Generation counter for cancellable wakeups (delays, RMW end).
+    gen: u64,
+    op_state: OpState,
+    socket: usize,
+}
+
+impl Cache {
+    fn new(socket: usize) -> Self {
+        Cache {
+            lines: HashMap::new(),
+            pending: HashMap::new(),
+            deferred: None,
+            deferred_line: 0,
+            stalled: VecDeque::new(),
+            rmw_busy: false,
+            rmw_line: 0,
+            txn: None,
+            pending_abort: None,
+            gen: 0,
+            op_state: OpState::Idle,
+            socket,
+        }
+    }
+
+    /// The line of the request the thread is currently blocked on, if any.
+    fn thread_pending_line(&self) -> Option<u64> {
+        self.pending
+            .values()
+            .find(|p| p.waiter.is_some())
+            .map(|p| p.line)
+    }
+
+    fn line(&mut self, line: u64) -> &mut CacheLine {
+        self.lines.entry(line).or_insert_with(|| CacheLine {
+            state: CState::Invalid,
+            value: 0,
+            tr: false,
+            tw: false,
+            clean: 0,
+        })
+    }
+
+    fn state(&self, line: u64) -> CState {
+        self.lines
+            .get(&line)
+            .map(|l| l.state)
+            .unwrap_or(CState::Invalid)
+    }
+
+    fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    fn txn_reads(&self, line: u64) -> bool {
+        self.txn
+            .as_ref()
+            .is_some_and(|t| t.read_set.contains(&line))
+    }
+
+    fn txn_writes(&self, line: u64) -> bool {
+        self.txn
+            .as_ref()
+            .is_some_and(|t| t.write_set.contains(&line))
+    }
+}
+
+/// Directory state for one line.
+#[derive(Debug, Clone)]
+enum DirState {
+    Invalid,
+    Shared(BTreeSet<usize>),
+    /// Sole clean-or-dirty owner under MESI-E; the directory cannot tell
+    /// E from M after a silent upgrade, so it forwards requests exactly
+    /// as for Modified.
+    Exclusive(usize),
+    Modified(usize),
+    /// Transient: a Fwd-GetS was sent to the previous owner and the
+    /// directory is waiting for its writeback before serving further
+    /// requests for this line.
+    AwaitWb(BTreeSet<usize>),
+}
+
+#[derive(Debug)]
+struct DirEntry {
+    state: DirState,
+    mem: u64,
+    /// Requests that arrived during a transient state, replayed in order.
+    queued: VecDeque<(usize, Msg)>,
+}
+
+/// The directory (shared LLC slice).
+#[derive(Debug, Default)]
+struct Directory {
+    entries: HashMap<u64, DirEntry>,
+}
+
+impl Directory {
+    fn entry(&mut self, line: u64) -> &mut DirEntry {
+        self.entries.entry(line).or_insert_with(|| DirEntry {
+            state: DirState::Invalid,
+            mem: 0,
+            queued: VecDeque::new(),
+        })
+    }
+}
+
+/// Scheduler events.
+#[derive(Debug)]
+enum Event {
+    /// A message arrives at `to`.
+    Deliver { to: Node, msg: Msg },
+    /// Core `core`'s thread issues its next operation.
+    IssueOp { core: usize },
+    /// An RMW (or plain store) finishes executing on `core`.
+    RmwDone { core: usize, gen: u64 },
+    /// A `delay()` elapses on `core` (cancellable by abort).
+    DelayDone { core: usize, gen: u64 },
+}
+
+struct HeapItem {
+    time: u64,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A memory operation as issued by a thread.
+#[derive(Debug, Clone, Copy)]
+pub enum OpKind {
+    Read(u64),
+    Write(u64, u64),
+    Cas(u64, u64, u64),
+    Faa(u64, u64),
+    Swap(u64, u64),
+    Delay(u64),
+    TxBegin,
+    TxEnd,
+    TxAbort(u8),
+}
+
+impl OpKind {
+    fn name(&self) -> &'static str {
+        match self {
+            OpKind::Read(..) => "read",
+            OpKind::Write(..) => "write",
+            OpKind::Cas(..) => "cas",
+            OpKind::Faa(..) => "faa",
+            OpKind::Swap(..) => "swap",
+            OpKind::Delay(..) => "delay",
+            OpKind::TxBegin => "xbegin",
+            OpKind::TxEnd => "xend",
+            OpKind::TxAbort(..) => "xabort",
+        }
+    }
+}
+
+/// What the engine reports back to a blocked thread.
+#[derive(Debug, Clone, Copy)]
+pub enum OpOutcome {
+    /// Operation completed with this value (CAS reports 1/0; commit 1).
+    Val(u64),
+    /// The enclosing transaction aborted with this status word.
+    Aborted(u32),
+}
+
+/// A completed thread resumption: deliver `outcome` to `core`, whose local
+/// clock becomes `time`.
+#[derive(Debug)]
+pub struct Resume {
+    pub core: usize,
+    pub time: u64,
+    pub outcome: OpOutcome,
+}
+
+/// The protocol engine. Owned and driven by [`crate::machine`].
+pub struct Sim {
+    pub cfg: MachineConfig,
+    clock: u64,
+    seq: u64,
+    events: BinaryHeap<HeapItem>,
+    dir: Directory,
+    caches: Vec<Cache>,
+    /// Operation each core's thread has issued and not yet begun.
+    op_inbox: Vec<Option<OpKind>>,
+    /// Thread resumptions produced by event processing; drained by the
+    /// machine layer after each `step`.
+    pub resumes: Vec<Resume>,
+    pub stats: Stats,
+    pub trace: Vec<TraceEvent>,
+    rng: SmallRng,
+    check_countdown: u32,
+    /// Earliest time the directory can accept its next request.
+    dir_free_at: u64,
+    /// Earliest time each cache can serve its next incoming request.
+    cache_free_at: Vec<u64>,
+}
+
+impl Sim {
+    pub fn new(cfg: MachineConfig) -> Self {
+        // +1 for the bootstrap core used by the setup phase.
+        let ncaches = cfg.cores + 1;
+        let caches = (0..ncaches).map(|c| Cache::new(cfg.socket_of(c))).collect();
+        Sim {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            clock: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            dir: Directory::default(),
+            caches,
+            op_inbox: vec![None; ncaches],
+            resumes: Vec::new(),
+            stats: Stats::default(),
+            trace: Vec::new(),
+            cfg,
+            check_countdown: 0,
+            dir_free_at: 0,
+            cache_free_at: vec![0; ncaches],
+        }
+    }
+
+    /// Current simulated time, cycles.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    fn push(&mut self, time: u64, ev: Event) {
+        debug_assert!(time >= self.clock, "event scheduled in the past");
+        self.seq += 1;
+        self.events.push(HeapItem {
+            time,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    /// Point-to-point one-way latency between two nodes.
+    fn latency(&self, src: Node, dst: Node) -> u64 {
+        let s = |n: Node| match n {
+            Node::Dir => self.cfg.home_socket,
+            Node::Core(c) => self.caches[c].socket,
+        };
+        self.cfg.hop(s(src), s(dst))
+    }
+
+    fn send(&mut self, src: Node, dst: Node, msg: Msg) {
+        let sent = self.clock;
+        let recv = sent + self.latency(src, dst);
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Msg {
+                sent,
+                recv,
+                src: src.to_string(),
+                dst: dst.to_string(),
+                kind: msg.kind(),
+                line: msg.line(),
+            });
+        }
+        self.stats.count_msg(msg.kind());
+        self.push(recv, Event::Deliver { to: dst, msg });
+    }
+
+    fn trace_tx(&mut self, core: usize, what: &'static str, detail: u32) {
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Tx {
+                time: self.clock,
+                core,
+                what,
+                detail,
+            });
+        }
+    }
+
+    fn resume_at(&mut self, core: usize, time: u64, outcome: OpOutcome) {
+        debug_assert_ne!(self.caches[core].op_state, OpState::Idle);
+        self.caches[core].op_state = OpState::Idle;
+        self.resumes.push(Resume {
+            core,
+            time,
+            outcome,
+        });
+    }
+
+    /// Hands the engine a thread's next operation, issued at the thread's
+    /// local time `at`.
+    pub fn submit_op(&mut self, core: usize, at: u64, op: OpKind) {
+        assert!(
+            self.op_inbox[core].is_none(),
+            "core {core} already has an op"
+        );
+        assert_eq!(self.caches[core].op_state, OpState::Idle);
+        self.caches[core].op_state = OpState::Inbox;
+        self.op_inbox[core] = Some(op);
+        let t = at.max(self.clock) + self.cfg.op_cycles;
+        self.push(t, Event::IssueOp { core });
+    }
+
+    /// True if any event remains.
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Processes the next event; returns false if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(item) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(item.time >= self.clock);
+        self.clock = item.time;
+        match item.ev {
+            Event::Deliver { to, msg } => match to {
+                Node::Dir => self.dir_handle(msg),
+                Node::Core(c) => self.cache_handle(c, msg),
+            },
+            Event::IssueOp { core } => {
+                let op = self.op_inbox[core].take().expect("no op in inbox");
+                debug_assert_eq!(self.caches[core].op_state, OpState::Inbox);
+                self.caches[core].op_state = OpState::Current;
+                self.begin_op(core, op);
+            }
+            Event::RmwDone { core, gen } => {
+                if self.caches[core].gen == gen {
+                    self.rmw_done(core);
+                }
+            }
+            Event::DelayDone { core, gen } => {
+                if self.caches[core].gen == gen {
+                    debug_assert_eq!(self.caches[core].op_state, OpState::Delaying);
+                    self.resume_at(core, self.clock, OpOutcome::Val(0));
+                }
+            }
+        }
+        if self.cfg.check_invariants {
+            if self.check_countdown == 0 {
+                self.check_invariants();
+                self.check_countdown = 63;
+            } else {
+                self.check_countdown -= 1;
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Thread-operation entry points
+    // ------------------------------------------------------------------
+
+    fn begin_op(&mut self, core: usize, op: OpKind) {
+        self.stats.count_op(op.name());
+        // A transaction aborted while the thread was computing locally is
+        // reported at its next operation.
+        if let Some(status) = self.caches[core].pending_abort.take() {
+            self.resume_at(core, self.clock, OpOutcome::Aborted(status));
+            return;
+        }
+        // MSHR merge: a memory operation on a line with an in-flight
+        // (headless) request waits for that request rather than issuing a
+        // second one.
+        if let Some(line) = op_line(&op) {
+            let cache = &mut self.caches[core];
+            if cache.pending.contains_key(&line) {
+                debug_assert!(
+                    cache.pending[&line].waiter.is_none(),
+                    "thread already blocked on this line"
+                );
+                cache.deferred = Some(op);
+                cache.deferred_line = line;
+                cache.op_state = OpState::PendingWait;
+                return;
+            }
+        }
+        self.begin_op_dispatch(core, op);
+    }
+
+    /// Second half of [`begin_op`]: the operation dispatch, also entered
+    /// directly when a deferred op is re-issued at request completion.
+    fn begin_op_dispatch(&mut self, core: usize, op: OpKind) {
+        match op {
+            OpKind::Read(line) => self.op_read(core, line),
+            OpKind::Write(line, v) => self.op_store(core, line, Waiter::Write(v)),
+            OpKind::Cas(line, old, new) => self.op_store(core, line, Waiter::Cas { old, new }),
+            OpKind::Faa(line, v) => self.op_store(core, line, Waiter::Faa(v)),
+            OpKind::Swap(line, v) => self.op_store(core, line, Waiter::Swap(v)),
+            OpKind::Delay(cycles) => {
+                // Apply the configured timing noise (see
+                // `MachineConfig::delay_jitter_pct`): real cores never
+                // sleep for exactly N cycles, and the spread is what lets
+                // one TxCAS winner abort the others mid-delay (§4.1).
+                let jitter = if self.cfg.delay_jitter_pct > 0 && cycles > 4 {
+                    let span = cycles * self.cfg.delay_jitter_pct / 100;
+                    if span > 0 {
+                        self.rng.gen_range(0..=span)
+                    } else {
+                        0
+                    }
+                } else {
+                    0
+                };
+                let gen = {
+                    let c = &mut self.caches[core];
+                    c.gen += 1;
+                    c.op_state = OpState::Delaying;
+                    c.gen
+                };
+                self.push(self.clock + cycles + jitter, Event::DelayDone { core, gen });
+            }
+            OpKind::TxBegin => self.op_txbegin(core),
+            OpKind::TxEnd => self.op_txend(core),
+            OpKind::TxAbort(code) => {
+                assert!(self.caches[core].txn.is_some(), "xabort outside txn");
+                self.abort_txn(core, txn::explicit(code));
+            }
+        }
+    }
+
+    fn op_read(&mut self, core: usize, line: u64) {
+        let in_txn = self.caches[core].in_txn();
+        let hit = {
+            let cache = &mut self.caches[core];
+            let l = cache.line(line);
+            if l.state != CState::Invalid {
+                if in_txn {
+                    l.tr = true;
+                }
+                Some(l.value)
+            } else {
+                None
+            }
+        };
+        if in_txn {
+            self.caches[core]
+                .txn
+                .as_mut()
+                .unwrap()
+                .read_set
+                .insert(line);
+        }
+        if let Some(v) = hit {
+            let done = self.clock + self.cfg.hit_cycles;
+            self.resume_at(core, done, OpOutcome::Val(v));
+            return;
+        }
+        let cache = &mut self.caches[core];
+        let prev = cache.pending.insert(
+            line,
+            PendingReq {
+                line,
+                is_getm: false,
+                have_data: false,
+                value: 0,
+                acks_expected: None,
+                acks_got: 0,
+                got_excl: false,
+                waiter: Some(Waiter::Read),
+            },
+        );
+        debug_assert!(prev.is_none(), "duplicate request for line");
+        cache.op_state = OpState::PendingWait;
+        self.send(Node::Core(core), Node::Dir, Msg::GetS { line, from: core });
+    }
+
+    /// All write-permission operations: plain store, CAS/FAA/SWAP, and
+    /// transactional writes.
+    fn op_store(&mut self, core: usize, line: u64, waiter: Waiter) {
+        let in_txn = self.caches[core].in_txn();
+        if in_txn {
+            // Inside a transaction the only permitted store is the
+            // transactional plain write; the paper's algorithms never RMW
+            // inside a transaction.
+            let v = match waiter {
+                Waiter::Write(v) => v,
+                _ => panic!("atomic RMW inside a transaction is not supported"),
+            };
+            self.caches[core]
+                .txn
+                .as_mut()
+                .unwrap()
+                .write_set
+                .insert(line);
+            if self.caches[core].state(line).writable() {
+                // Ownership already held (M, or E with a silent upgrade):
+                // buffer the write transactionally.
+                let cache = &mut self.caches[core];
+                let l = cache.line(line);
+                l.state = CState::Modified;
+                if !l.tw {
+                    l.clean = l.value;
+                    l.tw = true;
+                }
+                l.value = v;
+                let done = self.clock + self.cfg.hit_cycles;
+                self.resume_at(core, done, OpOutcome::Val(0));
+                return;
+            }
+            let cache = &mut self.caches[core];
+            let prev = cache.pending.insert(
+                line,
+                PendingReq {
+                    line,
+                    is_getm: true,
+                    have_data: false,
+                    value: 0,
+                    acks_expected: None,
+                    acks_got: 0,
+                    got_excl: false,
+                    waiter: Some(Waiter::TxWrite(v)),
+                },
+            );
+            debug_assert!(prev.is_none(), "duplicate request for line");
+            cache.op_state = OpState::PendingWait;
+            self.send(Node::Core(core), Node::Dir, Msg::GetM { line, from: core });
+            return;
+        }
+
+        if self.caches[core].state(line).writable() {
+            // M, or E silently upgraded by the store (MESI-E).
+            self.caches[core].line(line).state = CState::Modified;
+            self.start_rmw(core, line, waiter);
+            return;
+        }
+        let cache = &mut self.caches[core];
+        let prev = cache.pending.insert(
+            line,
+            PendingReq {
+                line,
+                is_getm: true,
+                have_data: false,
+                value: 0,
+                acks_expected: None,
+                acks_got: 0,
+                got_excl: false,
+                waiter: Some(waiter),
+            },
+        );
+        debug_assert!(prev.is_none(), "duplicate request for line");
+        cache.op_state = OpState::PendingWait;
+        self.send(Node::Core(core), Node::Dir, Msg::GetM { line, from: core });
+    }
+
+    /// Begins executing an RMW/store on an owned line; incoming Fwd
+    /// requests stall until `rmw_done` (§3.2: the core defers coherence
+    /// messages that would revoke ownership until the RMW completes).
+    fn start_rmw(&mut self, core: usize, line: u64, waiter: Waiter) {
+        let cost = match waiter {
+            Waiter::Write(_) => self.cfg.hit_cycles,
+            _ => self.cfg.rmw_cycles,
+        };
+        let cache = &mut self.caches[core];
+        debug_assert!(cache.state(line).writable());
+        cache.rmw_busy = true;
+        cache.rmw_line = line;
+        cache.gen += 1;
+        let gen = cache.gen;
+        let value = cache.lines[&line].value;
+        let prev = cache.pending.insert(
+            line,
+            PendingReq {
+                line,
+                is_getm: true,
+                have_data: true,
+                value,
+                acks_expected: Some(0),
+                acks_got: 0,
+                got_excl: false,
+                waiter: Some(waiter),
+            },
+        );
+        debug_assert!(prev.is_none(), "RMW on a line with an in-flight request");
+        cache.op_state = OpState::RmwExec;
+        self.push(self.clock + cost, Event::RmwDone { core, gen });
+    }
+
+    /// The RMW execution window ended: apply the operation, resume the
+    /// thread, and serve stalled requests.
+    fn rmw_done(&mut self, core: usize) {
+        let (result, line) = {
+            let cache = &mut self.caches[core];
+            cache.rmw_busy = false;
+            let line = cache.rmw_line;
+            let p = cache
+                .pending
+                .remove(&line)
+                .expect("rmw_done without pending");
+            debug_assert_eq!(p.line, line);
+            let cur = cache.lines[&line].value;
+            let (result, newval) = match p.waiter.expect("rmw_done without waiter") {
+                Waiter::Read => (cur, cur),
+                Waiter::Write(v) => (0, v),
+                Waiter::Cas { old, new } => {
+                    if cur == old {
+                        (1, new)
+                    } else {
+                        (0, cur)
+                    }
+                }
+                Waiter::Faa(v) => (cur, cur.wrapping_add(v)),
+                Waiter::Swap(v) => (cur, v),
+                Waiter::TxWrite(_) => unreachable!("tx writes do not use rmw_done"),
+            };
+            cache.line(line).value = newval;
+            (result, line)
+        };
+        let _ = line;
+        self.resume_at(core, self.clock, OpOutcome::Val(result));
+        self.drain_stalled(core);
+    }
+
+    fn op_txbegin(&mut self, core: usize) {
+        let cache = &mut self.caches[core];
+        match &mut cache.txn {
+            None => {
+                cache.txn = Some(Txn {
+                    depth: 1,
+                    ..Default::default()
+                })
+            }
+            Some(t) => t.depth += 1, // flat nesting
+        }
+        let depth = cache.txn.as_ref().unwrap().depth;
+        self.trace_tx(core, "xbegin", depth);
+        let done = self.clock + self.cfg.xbegin_cycles;
+        self.resume_at(core, done, OpOutcome::Val(0));
+    }
+
+    fn op_txend(&mut self, core: usize) {
+        let cache = &mut self.caches[core];
+        let t = cache.txn.as_mut().expect("xend outside txn");
+        if t.depth > 1 {
+            // Closing a nested transaction commits nothing by itself.
+            t.depth -= 1;
+            let done = self.clock + self.cfg.xend_cycles;
+            self.resume_at(core, done, OpOutcome::Val(0));
+            return;
+        }
+        // A transactional write blocks until ownership, so the thread has
+        // no request pending here (headless orphans may).
+        debug_assert!(
+            cache.thread_pending_line().is_none(),
+            "xend with a thread-owned pending request"
+        );
+        self.commit_txn(core);
+    }
+
+    fn commit_txn(&mut self, core: usize) {
+        if self.cfg.spurious_abort_prob > 0.0 && self.rng.gen_bool(self.cfg.spurious_abort_prob) {
+            self.stats.tx_aborts_spurious += 1;
+            self.abort_txn(core, txn::SPURIOUS);
+            return;
+        }
+        let cache = &mut self.caches[core];
+        let t = cache.txn.take().expect("commit without txn");
+        for line in t.read_set.iter().chain(t.write_set.iter()) {
+            if let Some(l) = cache.lines.get_mut(line) {
+                l.tr = false;
+                l.tw = false;
+            }
+        }
+        self.stats.tx_commits += 1;
+        self.trace_tx(core, "commit", 0);
+        let done = self.clock + self.cfg.xend_cycles;
+        self.resume_at(core, done, OpOutcome::Val(1));
+        self.drain_stalled(core);
+    }
+
+    /// Aborts `core`'s running transaction with the given status bits
+    /// (RETRY/NESTED are added here).
+    fn abort_txn(&mut self, core: usize, status: u32) {
+        let Some(t) = self.caches[core].txn.take() else {
+            return;
+        };
+        let mut status = status | txn::RETRY;
+        if t.depth >= 2 {
+            status |= txn::NESTED;
+        }
+        {
+            let cache = &mut self.caches[core];
+            // Roll back transactional writes applied to owned lines.
+            for line in &t.write_set {
+                if let Some(l) = cache.lines.get_mut(line) {
+                    if l.tw {
+                        l.value = l.clean;
+                        l.tw = false;
+                    }
+                }
+            }
+            for line in &t.read_set {
+                if let Some(l) = cache.lines.get_mut(line) {
+                    l.tr = false;
+                }
+            }
+        }
+        if txn::is_explicit(status) {
+            self.stats.tx_aborts_explicit += 1;
+        } else if txn::is_conflict(status) {
+            self.stats.tx_aborts_conflict += 1;
+        }
+        self.trace_tx(core, "abort", status);
+
+        // Restore the thread at the checkpoint: exactly one response is
+        // owed whenever op_state != Idle.
+        let cache = &mut self.caches[core];
+        match cache.op_state {
+            OpState::Current => {
+                // The abort was triggered from within the thread's own op
+                // (xabort, or spurious at xend).
+                self.resume_at(core, self.clock, OpOutcome::Aborted(status));
+            }
+            OpState::Delaying => {
+                cache.gen += 1; // cancel the DelayDone wake-up
+                self.resume_at(core, self.clock, OpOutcome::Aborted(status));
+            }
+            OpState::PendingWait => {
+                // Cancel the waiter (or the deferred op); any in-flight
+                // request continues headless.
+                if cache.deferred.take().is_none() {
+                    let p = cache
+                        .pending
+                        .values_mut()
+                        .find(|p| p.waiter.is_some())
+                        .expect("PendingWait without pending or deferred");
+                    p.waiter = None;
+                }
+                self.resume_at(core, self.clock, OpOutcome::Aborted(status));
+            }
+            OpState::Inbox => {
+                // Report when the op issues.
+                cache.pending_abort = Some(status);
+            }
+            OpState::RmwExec => unreachable!("RMW inside transaction"),
+            OpState::Idle => unreachable!("abort with no outstanding thread op"),
+        }
+        self.drain_stalled(core);
+    }
+
+    // ------------------------------------------------------------------
+    // Directory
+    // ------------------------------------------------------------------
+
+    fn dir_handle(&mut self, msg: Msg) {
+        // Directory occupancy: the controller retires at most one request
+        // per `dir_occupancy` cycles; simultaneous arrivals are naturally
+        // staggered, exactly like a real LLC slice.
+        if self.cfg.dir_occupancy > 0 {
+            if self.clock < self.dir_free_at {
+                let at = self.dir_free_at;
+                self.push(at, Event::Deliver { to: Node::Dir, msg });
+                return;
+            }
+            self.dir_free_at = self.clock + self.cfg.dir_occupancy;
+        }
+        let from = match msg {
+            Msg::GetS { from, .. } | Msg::GetM { from, .. } | Msg::WbData { from, .. } => from,
+            other => panic!("directory cannot handle {other:?}"),
+        };
+        let line = msg.line();
+        let e = self.dir.entry(line);
+        // Queue behind a transient state (except the writeback that
+        // resolves it).
+        if matches!(e.state, DirState::AwaitWb(_)) && !matches!(msg, Msg::WbData { .. }) {
+            e.queued.push_back((from, msg));
+            return;
+        }
+        self.dir_dispatch(from, msg);
+    }
+
+    fn dir_dispatch(&mut self, from: usize, msg: Msg) {
+        let line = msg.line();
+        match msg {
+            Msg::GetS { .. } => {
+                let e = self.dir.entry(line);
+                match e.state.clone() {
+                    DirState::Invalid => {
+                        let v = e.mem;
+                        if self.cfg.mesi_exclusive {
+                            // Sole reader: grant Exclusive (MESI-E).
+                            e.state = DirState::Exclusive(from);
+                            self.send(
+                                Node::Dir,
+                                Node::Core(from),
+                                Msg::Data {
+                                    line,
+                                    value: v,
+                                    acks: 0,
+                                    excl: true,
+                                },
+                            );
+                        } else {
+                            e.state = DirState::Shared(BTreeSet::from([from]));
+                            self.send(
+                                Node::Dir,
+                                Node::Core(from),
+                                Msg::Data {
+                                    line,
+                                    value: v,
+                                    acks: 0,
+                                    excl: false,
+                                },
+                            );
+                        }
+                    }
+                    DirState::Shared(mut s) => {
+                        let v = e.mem;
+                        s.insert(from);
+                        e.state = DirState::Shared(s);
+                        self.send(
+                            Node::Dir,
+                            Node::Core(from),
+                            Msg::Data {
+                                line,
+                                value: v,
+                                acks: 0,
+                                excl: false,
+                            },
+                        );
+                    }
+                    DirState::Exclusive(owner) | DirState::Modified(owner) => {
+                        assert_ne!(owner, from, "owner re-requesting GetS");
+                        e.state = DirState::AwaitWb(BTreeSet::from([owner, from]));
+                        self.send(
+                            Node::Dir,
+                            Node::Core(owner),
+                            Msg::FwdGetS {
+                                line,
+                                requester: from,
+                            },
+                        );
+                    }
+                    DirState::AwaitWb(_) => unreachable!("queued in dir_handle_at"),
+                }
+            }
+            Msg::GetM { .. } => {
+                let e = self.dir.entry(line);
+                match e.state.clone() {
+                    DirState::Invalid => {
+                        let v = e.mem;
+                        e.state = DirState::Modified(from);
+                        self.send(
+                            Node::Dir,
+                            Node::Core(from),
+                            Msg::Data {
+                                line,
+                                value: v,
+                                acks: 0,
+                                excl: false,
+                            },
+                        );
+                    }
+                    DirState::Shared(s) => {
+                        let v = e.mem;
+                        let others: Vec<usize> = s.iter().copied().filter(|&c| c != from).collect();
+                        e.state = DirState::Modified(from);
+                        // The data response and all invalidations leave
+                        // back-to-back: the concurrency that makes HTM CAS
+                        // failures scale (§3.3).
+                        self.send(
+                            Node::Dir,
+                            Node::Core(from),
+                            Msg::Data {
+                                line,
+                                value: v,
+                                acks: others.len() as u64,
+                                excl: false,
+                            },
+                        );
+                        for c in others {
+                            self.send(
+                                Node::Dir,
+                                Node::Core(c),
+                                Msg::Inv {
+                                    line,
+                                    requester: from,
+                                },
+                            );
+                        }
+                    }
+                    DirState::Exclusive(owner) | DirState::Modified(owner) => {
+                        assert_ne!(owner, from, "owner re-requesting GetM");
+                        e.state = DirState::Modified(from);
+                        self.send(
+                            Node::Dir,
+                            Node::Core(owner),
+                            Msg::FwdGetM {
+                                line,
+                                requester: from,
+                            },
+                        );
+                    }
+                    DirState::AwaitWb(_) => unreachable!("queued in dir_handle_at"),
+                }
+            }
+            Msg::WbData { value, .. } => {
+                let e = self.dir.entry(line);
+                let DirState::AwaitWb(sharers) = e.state.clone() else {
+                    panic!("unexpected WbData");
+                };
+                e.mem = value;
+                e.state = DirState::Shared(sharers);
+                // Replay requests that queued behind the writeback.
+                let queued: Vec<(usize, Msg)> = self.dir.entry(line).queued.drain(..).collect();
+                for (_, m) in queued {
+                    self.dir_handle(m);
+                }
+            }
+            other => panic!("directory cannot handle {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cache message handling
+    // ------------------------------------------------------------------
+
+    fn cache_handle(&mut self, core: usize, msg: Msg) {
+        // Controller occupancy for *serving requests*: a cache retires at
+        // most one incoming Fwd/Inv per `cache_occupancy` cycles. Response
+        // messages (Data/InvAck) are pipelined and bypass the limit.
+        if self.cfg.cache_occupancy > 0
+            && matches!(
+                msg,
+                Msg::Inv { .. } | Msg::FwdGetS { .. } | Msg::FwdGetM { .. }
+            )
+        {
+            let free_at = self.cache_free_at[core];
+            if self.clock < free_at {
+                self.push(
+                    free_at,
+                    Event::Deliver {
+                        to: Node::Core(core),
+                        msg,
+                    },
+                );
+                return;
+            }
+            self.cache_free_at[core] = self.clock + self.cfg.cache_occupancy;
+        }
+        match msg {
+            Msg::Data {
+                line,
+                value,
+                acks,
+                excl,
+            } => self.on_data(core, line, value, acks, excl),
+            Msg::DataOwner { line, value } => self.on_data(core, line, value, 0, false),
+            Msg::InvAck { line } => {
+                let p = self.caches[core]
+                    .pending
+                    .get_mut(&line)
+                    .expect("stray InvAck");
+                p.acks_got += 1;
+                self.try_complete_pending(core, line);
+            }
+            Msg::Inv { line, requester } => self.on_inv(core, line, requester),
+            Msg::FwdGetS { line, requester } => self.on_fwd_gets(core, line, requester),
+            Msg::FwdGetM { line, requester } => self.on_fwd_getm(core, line, requester),
+            other => panic!("cache cannot handle {other:?}"),
+        }
+    }
+
+    fn on_data(&mut self, core: usize, line: u64, value: u64, acks: u64, excl: bool) {
+        let p = self.caches[core]
+            .pending
+            .get_mut(&line)
+            .expect("stray Data");
+        p.have_data = true;
+        p.value = value;
+        p.got_excl = excl;
+        // DataOwner carries no ack expectation; Data from the directory
+        // does. Both paths may deliver acks before data, so only overwrite
+        // if unset (the directory message is authoritative).
+        if p.acks_expected.is_none() {
+            p.acks_expected = Some(acks);
+        }
+        self.try_complete_pending(core, line);
+    }
+
+    fn try_complete_pending(&mut self, core: usize, line: u64) {
+        let done = {
+            let cache = &self.caches[core];
+            match cache.pending.get(&line) {
+                Some(p) => p.have_data && p.acks_expected.is_some_and(|a| p.acks_got >= a),
+                None => false,
+            }
+        };
+        if !done {
+            return;
+        }
+        let p = self.caches[core].pending.remove(&line).unwrap();
+        {
+            let cache = &mut self.caches[core];
+            let l = cache.line(line);
+            l.state = if p.is_getm {
+                CState::Modified
+            } else if p.got_excl {
+                CState::Exclusive
+            } else {
+                CState::Shared
+            };
+            l.value = p.value;
+            l.tw = false;
+            l.tr = false;
+        }
+
+        match p.waiter {
+            None => {
+                // Headless: the transaction that issued this GetM aborted
+                // (§3.3: pending GetM requests of failed TxCASs are handled
+                // asynchronously by the cache controller). Take ownership
+                // with the received data and serve whoever stalled; if the
+                // thread meanwhile issued an op for this very line (MSHR
+                // merge), re-dispatch it now.
+                self.drain_stalled(core);
+                let cache = &mut self.caches[core];
+                if cache.deferred.is_some() && cache.deferred_line == line {
+                    let op = cache.deferred.take().unwrap();
+                    cache.op_state = OpState::Current;
+                    self.begin_op_dispatch(core, op);
+                }
+            }
+            Some(Waiter::Read) => {
+                if self.caches[core].in_txn() {
+                    self.caches[core].line(line).tr = true;
+                }
+                self.resume_at(core, self.clock, OpOutcome::Val(p.value));
+                self.drain_stalled(core);
+            }
+            Some(Waiter::TxWrite(v)) => {
+                // Ownership acquired for a transactional write. Apply the
+                // buffered store; requester-wins conflicts that arrived
+                // during the wait already aborted us (waiter would be
+                // None). Stalled Fwd requests stay stalled until
+                // commit/abort — see the commit-atomicity note above.
+                debug_assert!(self.caches[core].in_txn());
+                let cache = &mut self.caches[core];
+                let l = cache.line(line);
+                l.clean = l.value;
+                l.value = v;
+                l.tw = true;
+                self.resume_at(core, self.clock, OpOutcome::Val(0));
+            }
+            Some(w) => {
+                // A non-transactional RMW/store: execute it now (the §3.2
+                // read-modify-write window).
+                let cost = match w {
+                    Waiter::Write(_) => self.cfg.hit_cycles,
+                    _ => self.cfg.rmw_cycles,
+                };
+                let cache = &mut self.caches[core];
+                cache.pending.insert(
+                    line,
+                    PendingReq {
+                        waiter: Some(w),
+                        ..p
+                    },
+                );
+                cache.rmw_busy = true;
+                cache.rmw_line = line;
+                cache.gen += 1;
+                let gen = cache.gen;
+                cache.op_state = OpState::RmwExec;
+                self.push(self.clock + cost, Event::RmwDone { core, gen });
+            }
+        }
+    }
+
+    fn on_inv(&mut self, core: usize, line: u64, requester: usize) {
+        // Invalidations are never stalled (that would deadlock the
+        // requester counting acks). This is exactly why HTM failures are
+        // concurrent: every read-phase sharer processes its Inv — and
+        // aborts — in parallel (§3.3, Figure 2b).
+        let conflict = {
+            let cache = &mut self.caches[core];
+            let conflict = cache.txn_reads(line) || cache.txn_writes(line);
+            if let Some(l) = cache.lines.get_mut(&line) {
+                l.state = CState::Invalid;
+            }
+            conflict
+        };
+        self.send(
+            Node::Core(core),
+            Node::Core(requester),
+            Msg::InvAck { line },
+        );
+        if conflict {
+            self.abort_txn(core, txn::CONFLICT);
+        }
+    }
+
+    fn on_fwd_gets(&mut self, core: usize, line: u64, requester: usize) {
+        let (pending_here, txn_wrote, owns) = {
+            let cache = &self.caches[core];
+            (
+                cache.pending.contains_key(&line),
+                cache.txn_writes(line),
+                cache.state(line).writable(),
+            )
+        };
+
+        if txn_wrote && pending_here {
+            // The remote read hit the window in which our transactional
+            // write waits for its GetM to complete: the tripped writer
+            // (§3.4, Figure 3).
+            if self.cfg.microarch_fix {
+                // §3.4.1: the core is effectively blocked at _xend with a
+                // single pending GetM; stall the read until commit.
+                self.stats.fix_stalls += 1;
+                self.stats.stalls += 1;
+                self.caches[core]
+                    .stalled
+                    .push_back(Msg::FwdGetS { line, requester });
+                return;
+            }
+            self.stats.tripped_writers += 1;
+            self.abort_txn(core, txn::CONFLICT);
+            // We still become owner when the GetM completes (headless);
+            // serve the read then.
+            self.stats.stalls += 1;
+            self.caches[core]
+                .stalled
+                .push_back(Msg::FwdGetS { line, requester });
+            return;
+        }
+        if txn_wrote && owns {
+            // Commit window (ownership held, xend imminent): stall — see
+            // the commit-atomicity note in the module docs.
+            self.stats.stalls += 1;
+            self.caches[core]
+                .stalled
+                .push_back(Msg::FwdGetS { line, requester });
+            return;
+        }
+        if pending_here || self.caches[core].rmw_busy {
+            self.stats.stalls += 1;
+            self.caches[core]
+                .stalled
+                .push_back(Msg::FwdGetS { line, requester });
+            return;
+        }
+        // A remote read of a line we own but only transactionally *read*
+        // (or do not have in any transaction) is not a conflict.
+        self.serve_fwd_gets(core, line, requester);
+    }
+
+    fn serve_fwd_gets(&mut self, core: usize, line: u64, requester: usize) {
+        let v = {
+            let cache = &mut self.caches[core];
+            let l = cache.line(line);
+            assert!(l.state.writable(), "Fwd-GetS to non-owner");
+            debug_assert!(!l.tw, "serving a transactionally written line");
+            l.state = CState::Shared;
+            l.value
+        };
+        self.send(
+            Node::Core(core),
+            Node::Core(requester),
+            Msg::DataOwner { line, value: v },
+        );
+        self.send(
+            Node::Core(core),
+            Node::Dir,
+            Msg::WbData {
+                line,
+                value: v,
+                from: core,
+            },
+        );
+    }
+
+    fn on_fwd_getm(&mut self, core: usize, line: u64, requester: usize) {
+        let (pending_here, txn_wrote, txn_read) = {
+            let cache = &self.caches[core];
+            (
+                cache.pending.contains_key(&line),
+                cache.txn_writes(line),
+                cache.txn_reads(line),
+            )
+        };
+        if pending_here || self.caches[core].rmw_busy || txn_wrote {
+            // Stall until our own request / RMW window / commit completes
+            // (Figure 2a's C2; for transactions this preserves the §3.3
+            // winner, whose commit is atomic with GetM completion).
+            self.stats.stalls += 1;
+            self.caches[core]
+                .stalled
+                .push_back(Msg::FwdGetM { line, requester });
+            return;
+        }
+        if txn_read {
+            // We own a line the running transaction read; the remote
+            // writer wins.
+            self.abort_txn(core, txn::CONFLICT);
+        }
+        self.serve_fwd_getm(core, line, requester);
+    }
+
+    fn serve_fwd_getm(&mut self, core: usize, line: u64, requester: usize) {
+        let v = {
+            let cache = &mut self.caches[core];
+            let l = cache.line(line);
+            assert!(l.state.writable(), "Fwd-GetM to non-owner");
+            debug_assert!(!l.tw, "handing off a transactionally written line");
+            l.state = CState::Invalid;
+            l.value
+        };
+        self.send(
+            Node::Core(core),
+            Node::Core(requester),
+            Msg::DataOwner { line, value: v },
+        );
+    }
+
+    /// Re-examines stalled messages after a condition that stalled them
+    /// (per-line pending request, RMW window, transactional write) clears.
+    /// Unblocked messages are re-delivered through the regular handlers —
+    /// so every conflict/stall condition is re-evaluated from scratch —
+    /// at the current simulated time.
+    fn drain_stalled(&mut self, core: usize) {
+        if self.caches[core].rmw_busy {
+            return; // the atomic window blocks the whole cache
+        }
+        let msgs: Vec<Msg> = self.caches[core].stalled.drain(..).collect();
+        for msg in msgs {
+            let line = msg.line();
+            let blocked = {
+                let cache = &self.caches[core];
+                cache.pending.contains_key(&line) || cache.txn_writes(line)
+            };
+            if blocked {
+                self.caches[core].stalled.push_back(msg);
+            } else {
+                self.push(
+                    self.clock,
+                    Event::Deliver {
+                        to: Node::Core(core),
+                        msg,
+                    },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants
+    // ------------------------------------------------------------------
+
+    /// Single-writer/multi-reader: at most one cache in M per line.
+    fn check_invariants(&self) {
+        use std::collections::HashMap as Map;
+        let mut owners: Map<u64, usize> = Map::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            for (&line, l) in &c.lines {
+                if l.state.writable() {
+                    if let Some(prev) = owners.insert(line, i) {
+                        panic!("line {line:#x}: two M/E holders: C{prev} and C{i}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The target line of a memory operation, if it has one.
+fn op_line(op: &OpKind) -> Option<u64> {
+    match *op {
+        OpKind::Read(line)
+        | OpKind::Write(line, _)
+        | OpKind::Cas(line, _, _)
+        | OpKind::Faa(line, _)
+        | OpKind::Swap(line, _) => Some(line),
+        OpKind::Delay(_) | OpKind::TxBegin | OpKind::TxEnd | OpKind::TxAbort(_) => None,
+    }
+}

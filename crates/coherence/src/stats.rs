@@ -1,0 +1,91 @@
+//! Run statistics and trace records.
+
+use std::collections::HashMap;
+
+/// Counters accumulated over a simulation run.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Messages delivered, by kind name.
+    pub msgs: HashMap<&'static str, u64>,
+    /// Transactions committed.
+    pub tx_commits: u64,
+    /// Transactions aborted by a data conflict.
+    pub tx_aborts_conflict: u64,
+    /// Conflict aborts specifically caused by a Fwd-GetS hitting a
+    /// transactionally written line — the paper's *tripped writer* (§3.4).
+    pub tripped_writers: u64,
+    /// Transactions aborted explicitly by the program.
+    pub tx_aborts_explicit: u64,
+    /// Spurious (interrupt-like) aborts injected by configuration.
+    pub tx_aborts_spurious: u64,
+    /// Coherence messages stalled at a cache because of a pending request
+    /// or an executing RMW.
+    pub stalls: u64,
+    /// Fwd-GetS requests stalled by the §3.4.1 microarchitectural fix.
+    pub fix_stalls: u64,
+    /// Memory operations executed, by kind ("read", "write", "cas", ...).
+    pub ops: HashMap<&'static str, u64>,
+}
+
+impl Stats {
+    pub(crate) fn count_msg(&mut self, kind: &'static str) {
+        *self.msgs.entry(kind).or_insert(0) += 1;
+    }
+
+    pub(crate) fn count_op(&mut self, kind: &'static str) {
+        *self.ops.entry(kind).or_insert(0) += 1;
+    }
+
+    /// Total messages of the given kind.
+    pub fn msg(&self, kind: &str) -> u64 {
+        self.msgs.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total aborts of all causes.
+    pub fn tx_aborts(&self) -> u64 {
+        self.tx_aborts_conflict + self.tx_aborts_explicit + self.tx_aborts_spurious
+    }
+}
+
+/// One entry in the (optional) event trace, sufficient to re-draw the
+/// paper's Figure 2/3 message diagrams.
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// A message was sent at `sent` and delivered at `recv`.
+    Msg {
+        sent: u64,
+        recv: u64,
+        src: String,
+        dst: String,
+        kind: &'static str,
+        line: u64,
+    },
+    /// A transaction-lifecycle event ("xbegin", "commit", "abort") on
+    /// `core` at `time`.
+    Tx {
+        time: u64,
+        core: usize,
+        what: &'static str,
+        detail: u32,
+    },
+    /// A memory operation by `core` completed at `time`.
+    Op {
+        time: u64,
+        core: usize,
+        what: &'static str,
+        line: u64,
+    },
+}
+
+/// Result of a full simulation run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Simulated time at which the last thread finished, cycles.
+    pub end_time: u64,
+    /// Simulated finish time of each application thread, cycles.
+    pub core_end: Vec<u64>,
+    /// Counter snapshot.
+    pub stats: Stats,
+    /// Message/transaction trace, if `MachineConfig::trace` was set.
+    pub trace: Vec<TraceEvent>,
+}

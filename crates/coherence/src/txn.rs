@@ -1,0 +1,75 @@
+//! Transaction status words and abort reasons, mirroring the shape of the
+//! RTM `_xbegin` status word the paper's TxCAS triages on (§4.2): explicit
+//! vs. conflict aborts, and whether the conflict hit a *nested*
+//! transaction.
+
+/// Abort status bit: the transaction called `tx_abort` itself.
+pub const EXPLICIT: u32 = 1 << 0;
+/// Abort status bit: retrying may succeed (set on conflicts, like RTM).
+pub const RETRY: u32 = 1 << 1;
+/// Abort status bit: a data conflict (remote coherence request) aborted the
+/// transaction.
+pub const CONFLICT: u32 = 1 << 2;
+/// Abort status bit: spurious abort (interrupt-like; neither explicit nor a
+/// conflict).
+pub const SPURIOUS: u32 = 1 << 3;
+/// Abort status bit: the abort occurred while a *nested* transaction was
+/// running. TxCAS uses this to learn that the CAS write step had not yet
+/// executed.
+pub const NESTED: u32 = 1 << 5;
+
+/// Builds a status word for an explicit abort carrying `code` (0..=255).
+pub fn explicit(code: u8) -> u32 {
+    EXPLICIT | ((code as u32) << 24)
+}
+
+/// Extracts the explicit abort code.
+pub fn code(status: u32) -> u8 {
+    (status >> 24) as u8
+}
+
+/// True if the status word reports an explicit (self) abort.
+pub fn is_explicit(status: u32) -> bool {
+    status & EXPLICIT != 0
+}
+
+/// True if the status word reports a data-conflict abort.
+pub fn is_conflict(status: u32) -> bool {
+    status & CONFLICT != 0
+}
+
+/// True if the abort happened inside a nested transaction.
+pub fn is_nested(status: u32) -> bool {
+    status & NESTED != 0
+}
+
+/// An in-flight abort, unwound through transaction bodies with `?`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort {
+    /// RTM-style status word; see the bit constants in this module.
+    pub status: u32,
+}
+
+/// Result type of every memory operation performed inside a transaction.
+pub type TxResult<T> = Result<T, Abort>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_code_roundtrip() {
+        let s = explicit(42);
+        assert!(is_explicit(s));
+        assert!(!is_conflict(s));
+        assert_eq!(code(s), 42);
+    }
+
+    #[test]
+    fn conflict_bits() {
+        let s = CONFLICT | RETRY | NESTED;
+        assert!(is_conflict(s));
+        assert!(is_nested(s));
+        assert!(!is_explicit(s));
+    }
+}

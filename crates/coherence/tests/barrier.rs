@@ -1,0 +1,95 @@
+//! Barrier primitive semantics: all participants resume at the same
+//! simulated time, and phased workloads order correctly across it.
+
+use absmem::ThreadCtx;
+use coherence::{Machine, MachineConfig, Program, SimCtx};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn barrier_aligns_local_clocks() {
+    let cfg = MachineConfig::single_socket(4);
+    let times: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let programs: Vec<Program> = (0..4)
+        .map(|i| {
+            let times = Arc::clone(&times);
+            Box::new(move |ctx: &mut SimCtx| {
+                // Threads arrive at very different local times.
+                ctx.delay(100 * (i as u64 + 1));
+                ctx.barrier();
+                times.lock().unwrap().push(ctx.now());
+            }) as Program
+        })
+        .collect();
+    Machine::new(cfg).run(Box::new(|_| {}), programs);
+    let times = times.lock().unwrap();
+    assert_eq!(times.len(), 4);
+    assert!(
+        times.iter().all(|&t| t == times[0]),
+        "all threads must resume at the same instant: {times:?}"
+    );
+    assert!(times[0] >= 400, "resume time is the latest arrival");
+}
+
+#[test]
+fn writes_before_barrier_visible_after() {
+    let cfg = MachineConfig::single_socket(3);
+    let shared = Arc::new(AtomicU64::new(0));
+    let sums: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let programs: Vec<Program> = (0..3)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let sums = Arc::clone(&sums);
+            Box::new(move |ctx: &mut SimCtx| {
+                let base = shared.load(SeqCst);
+                ctx.write(base + i as u64, (i as u64 + 1) * 10);
+                ctx.barrier();
+                let sum: u64 = (0..3).map(|j| ctx.read(base + j)).sum();
+                sums.lock().unwrap().push(sum);
+            }) as Program
+        })
+        .collect();
+    let s2 = Arc::clone(&shared);
+    Machine::new(cfg).run(
+        Box::new(move |ctx| {
+            let a = ctx.alloc(3);
+            for j in 0..3 {
+                ctx.write(a + j, 0);
+            }
+            s2.store(a, SeqCst);
+        }),
+        programs,
+    );
+    for s in sums.lock().unwrap().iter() {
+        assert_eq!(*s, 60, "every pre-barrier write must be visible");
+    }
+}
+
+#[test]
+fn consecutive_barriers_work() {
+    let cfg = MachineConfig::single_socket(3);
+    let order: Arc<Mutex<Vec<(usize, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+    let programs: Vec<Program> = (0..3)
+        .map(|i| {
+            let order = Arc::clone(&order);
+            Box::new(move |ctx: &mut SimCtx| {
+                for phase in 0..3u32 {
+                    ctx.delay(10 + i as u64 * 7);
+                    order.lock().unwrap().push((i, phase));
+                    ctx.barrier();
+                }
+            }) as Program
+        })
+        .collect();
+    Machine::new(cfg).run(Box::new(|_| {}), programs);
+    let order = order.lock().unwrap();
+    // Phases must be fully separated: all phase-k records precede all
+    // phase-(k+1) records.
+    for w in order.windows(2) {
+        assert!(
+            w[0].1 <= w[1].1,
+            "phase interleaving across barrier: {order:?}"
+        );
+    }
+    assert_eq!(order.len(), 9);
+}

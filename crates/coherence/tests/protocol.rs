@@ -1,0 +1,425 @@
+//! Protocol-level validation of the simulated substrate: these tests pin
+//! down the cache-coherence dynamics the paper's analysis (§3) relies on,
+//! before any queue is built on top.
+
+use absmem::ThreadCtx;
+use coherence::{Machine, MachineConfig, Program, SimCtx};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Runs `n` copies of `prog` after `setup`; returns (report, per-thread
+/// results pushed into the shared vec by the programs).
+fn run_n<T: Send + 'static>(
+    cfg: MachineConfig,
+    setup: impl FnOnce(&mut SimCtx) -> u64 + Send + 'static,
+    prog: impl Fn(&mut SimCtx, u64) -> T + Send + Sync + 'static,
+) -> (coherence::RunReport, Vec<T>) {
+    let n = cfg.cores;
+    let shared = Arc::new(AtomicU64::new(0));
+    let results: Arc<Mutex<Vec<(usize, T)>>> = Arc::new(Mutex::new(Vec::new()));
+    let prog = Arc::new(prog);
+    let s2 = Arc::clone(&shared);
+    let programs: Vec<Program> = (0..n)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let results = Arc::clone(&results);
+            let prog = Arc::clone(&prog);
+            Box::new(move |ctx: &mut SimCtx| {
+                let base = shared.load(SeqCst);
+                let r = prog(ctx, base);
+                results.lock().unwrap().push((i, r));
+            }) as Program
+        })
+        .collect();
+    let report = Machine::new(cfg).run(
+        Box::new(move |ctx| {
+            let base = setup(ctx);
+            s2.store(base, SeqCst);
+        }),
+        programs,
+    );
+    let mut res = match Arc::try_unwrap(results) {
+        Ok(m) => m.into_inner().unwrap(),
+        Err(_) => panic!("results still shared"),
+    };
+    res.sort_by_key(|(i, _)| *i);
+    (report, res.into_iter().map(|(_, t)| t).collect())
+}
+
+fn word_setup(ctx: &mut SimCtx) -> u64 {
+    let a = ctx.alloc(1);
+    ctx.write(a, 0);
+    a
+}
+
+#[test]
+fn values_propagate_between_cores() {
+    let cfg = MachineConfig::single_socket(2);
+    let (_, vals) = run_n(cfg, word_setup, |ctx, a| {
+        if ctx.thread_id() == 0 {
+            ctx.write(a, 42);
+            0
+        } else {
+            // Spin until the writer's value is visible.
+            let mut v = ctx.read(a);
+            while v != 42 {
+                ctx.delay(50);
+                v = ctx.read(a);
+            }
+            v
+        }
+    });
+    assert_eq!(vals[1], 42);
+}
+
+#[test]
+fn faa_loses_no_increments_under_contention() {
+    for cores in [1, 3, 8] {
+        let cfg = MachineConfig::single_socket(cores);
+        let (_, _) = {
+            let (report, _) = run_n(cfg.clone(), word_setup, |ctx, a| {
+                for _ in 0..50 {
+                    ctx.faa(a, 1);
+                }
+            });
+            // Verify the final value with a fresh single-core run is not
+            // possible (memory is per-run); instead count FAA ops and use
+            // a final reader below.
+            (report, ())
+        };
+        // Re-run with a checker thread pattern: every thread FAAs then one
+        // checks the total via the returned FAA values.
+        let (_, last_vals) = run_n(cfg, word_setup, |ctx, a| {
+            let mut last = 0;
+            for _ in 0..50 {
+                last = ctx.faa(a, 1);
+            }
+            last
+        });
+        // FAA returns the pre-value; across all threads, the maximum
+        // pre-value must be total-1.
+        let max = last_vals.iter().copied().max().unwrap();
+        assert_eq!(max, (cores as u64) * 50 - 1, "cores={cores}");
+    }
+}
+
+#[test]
+fn cas_elects_exactly_one_winner_per_value() {
+    let cfg = MachineConfig::single_socket(6);
+    let (_, wins) = run_n(cfg, word_setup, |ctx, a| {
+        let mut wins = 0u64;
+        for round in 0..40u64 {
+            if ctx.cas(a, round, round + 1) {
+                wins += 1;
+            } else {
+                while ctx.read(a) <= round {
+                    ctx.delay(30);
+                }
+            }
+        }
+        wins
+    });
+    assert_eq!(wins.iter().sum::<u64>(), 40);
+}
+
+#[test]
+fn swap_chains_preserve_all_values() {
+    // Each thread swaps in its id+1 and remembers what it displaced; the
+    // multiset {initial 0, all swapped-in values} minus {displaced values}
+    // must equal the final value.
+    let cfg = MachineConfig::single_socket(4);
+    let (_, got) = run_n(cfg, word_setup, |ctx, a| {
+        ctx.swap(a, ctx.thread_id() as u64 + 1)
+    });
+    let mut seen: Vec<u64> = got.clone();
+    seen.sort_unstable();
+    // Exactly one thread must have displaced the initial 0.
+    assert_eq!(seen.iter().filter(|&&v| v == 0).count(), 1);
+    // No two threads can displace the same value.
+    seen.dedup();
+    assert_eq!(seen.len(), 4);
+}
+
+/// §3.2: the average latency of a contended FAA grows linearly with the
+/// number of contenders (the Fwd-GetM handoff chain).
+#[test]
+fn contended_faa_latency_grows_linearly() {
+    let mut lat = Vec::new();
+    for cores in [2usize, 8, 16] {
+        let mut cfg = MachineConfig::single_socket(cores);
+        cfg.check_invariants = false;
+        let (_, times) = run_n(cfg, word_setup, |ctx, a| {
+            const OPS: u64 = 100;
+            let t0 = ctx.now();
+            for _ in 0..OPS {
+                ctx.faa(a, 1);
+            }
+            (ctx.now() - t0) / OPS
+        });
+        let avg = times.iter().sum::<u64>() / times.len() as u64;
+        lat.push(avg);
+    }
+    // 16 cores should cost several times what 2 cores cost.
+    assert!(
+        lat[2] > lat[0] * 3,
+        "expected linear growth, got {lat:?} cycles/op"
+    );
+    // And 16-core latency should be roughly 2x the 8-core latency
+    // (allowing generous slack).
+    assert!(lat[2] > lat[1] * 3 / 2, "expected ~2x from 8->16: {lat:?}");
+}
+
+/// Transactions: a read-modify-write transaction on an uncontended line
+/// commits, and its write is visible afterwards.
+#[test]
+fn uncontended_transaction_commits() {
+    let cfg = MachineConfig::single_socket(1);
+    let (report, vals) = run_n(cfg, word_setup, |ctx, a| {
+        ctx.tx_begin().unwrap();
+        let v = ctx.tx_read(a).unwrap();
+        ctx.tx_write(a, v + 7).unwrap();
+        ctx.tx_end().unwrap();
+        ctx.read(a)
+    });
+    assert_eq!(vals[0], 7);
+    assert_eq!(report.stats.tx_commits, 1);
+    assert_eq!(report.stats.tx_aborts(), 0);
+}
+
+/// An explicit abort rolls back the transactional write and reports the
+/// code.
+#[test]
+fn explicit_abort_rolls_back() {
+    let cfg = MachineConfig::single_socket(1);
+    let (report, vals) = run_n(cfg, word_setup, |ctx, a| {
+        ctx.tx_begin().unwrap();
+        let r: coherence::TxResult<()> = (|| {
+            ctx.tx_write(a, 99)?;
+            Err(ctx.tx_abort(5))
+        })();
+        let status = r.unwrap_err().status;
+        (ctx.read(a), status)
+    });
+    let (val, status) = vals[0];
+    assert_eq!(val, 0, "transactional write must be rolled back");
+    assert!(coherence::txn::is_explicit(status));
+    assert_eq!(coherence::txn::code(status), 5);
+    assert_eq!(report.stats.tx_aborts_explicit, 1);
+    assert_eq!(report.stats.tx_commits, 0);
+}
+
+/// Nested flat transactions: an abort inside the nested transaction sets
+/// the NESTED status bit (the signal TxCAS's triage logic uses, §4.2).
+#[test]
+fn nested_abort_sets_nested_bit() {
+    let cfg = MachineConfig::single_socket(1);
+    let (_, vals) = run_n(cfg, word_setup, |ctx, _a| {
+        ctx.tx_begin().unwrap();
+        ctx.tx_begin().unwrap();
+        let st = ctx.tx_abort(3).status;
+        st
+    });
+    assert!(coherence::txn::is_nested(vals[0]));
+    assert!(coherence::txn::is_explicit(vals[0]));
+}
+
+/// §3.3 / Figure 2b: when many HTM CASes contend, exactly one commits per
+/// "round" and the rest abort on concurrently delivered invalidations —
+/// so failure latency stays roughly flat as contention rises.
+#[test]
+fn htm_cas_failures_are_concurrent() {
+    let run_one = |cores: usize| {
+        let mut cfg = MachineConfig::single_socket(cores);
+        cfg.check_invariants = false;
+        let (report, times) = run_n(cfg, word_setup, move |ctx, a| {
+            // One round of transactional CAS(0 -> tid+1): read, delay,
+            // write, commit.
+            let t0 = ctx.now();
+            let _ = (|| -> coherence::TxResult<()> {
+                ctx.tx_begin()?;
+                let v = ctx.tx_read(a)?;
+                if v != 0 {
+                    return Err(ctx.tx_abort(1));
+                }
+                ctx.tx_delay(600)?;
+                ctx.tx_write(a, ctx.thread_id() as u64 + 1)?;
+                ctx.tx_end()?;
+                Ok(())
+            })();
+            ctx.now() - t0
+        });
+        (report, times)
+    };
+    let (r4, t4) = run_one(4);
+    assert_eq!(r4.stats.tx_commits, 1, "exactly one winner");
+    assert_eq!(r4.stats.tx_aborts_conflict, 3, "all others conflict-abort");
+    let (r16, t16) = run_one(16);
+    assert_eq!(r16.stats.tx_commits, 1);
+    assert_eq!(r16.stats.tx_aborts_conflict, 15);
+    // Scalability: mean completion time should NOT grow linearly from 4 to
+    // 16 threads (the losers abort concurrently). Allow 2x slack.
+    let avg = |v: &[u64]| v.iter().sum::<u64>() / v.len() as u64;
+    assert!(
+        avg(&t16) < avg(&t4) * 2,
+        "HTM CAS failure latency must stay ~flat: {} vs {}",
+        avg(&t4),
+        avg(&t16)
+    );
+}
+
+/// §3.4 / Figure 3: a remote read hitting the window where the
+/// transactional write's GetM is pending trips the writer; the §3.4.1
+/// microarchitectural fix converts the abort into a stall.
+#[test]
+fn tripped_writer_and_microarch_fix() {
+    let scenario = |fix: bool| {
+        // Dual socket: the sharer owing the InvAck sits on the far socket,
+        // so the writer's GetM waits ~2 cross-socket hops — a wide window
+        // for the reader's Fwd-GetS to land in (§4.3: exactly why NUMA
+        // makes tripped writers frequent).
+        let mut cfg = MachineConfig::dual_socket(3);
+        cfg.microarch_fix = fix;
+        let (report, _) = run_n(cfg, word_setup, move |ctx, a| {
+            match ctx.thread_id() {
+                0 => {
+                    // Writer (socket 0): read first (becomes sharer), then
+                    // transactional CAS without delay.
+                    let _ = ctx.read(a);
+                    let _ = (|| -> coherence::TxResult<()> {
+                        ctx.tx_begin()?;
+                        let v = ctx.tx_read(a)?;
+                        ctx.tx_write(a, v + 1)?;
+                        ctx.tx_end()?;
+                        Ok(())
+                    })();
+                }
+                3 => {
+                    // Far-socket sharer: its InvAck takes two cross-socket
+                    // hops, widening the writer's commit window.
+                    let _ = ctx.read(a);
+                    ctx.delay(5000);
+                }
+                1 | 2 => {
+                    // Near readers staggered into the window.
+                    ctx.delay(100 + 80 * ctx.thread_id() as u64);
+                    let _ = ctx.read(a);
+                }
+                _ => {}
+            }
+        });
+        report
+    };
+    let no_fix = scenario(false);
+    assert!(
+        no_fix.stats.tripped_writers >= 1,
+        "expected a tripped writer, stats: {:?}",
+        no_fix.stats
+    );
+    let with_fix = scenario(true);
+    assert_eq!(
+        with_fix.stats.tripped_writers, 0,
+        "fix must eliminate tripped writers"
+    );
+    assert!(with_fix.stats.fix_stalls >= 1, "fix must stall the read");
+    assert!(with_fix.stats.tx_commits >= 1, "writer commits under fix");
+}
+
+/// An in-transaction delay is cut short by a conflicting invalidation: the
+/// mechanism that lets a delaying TxCAS abort early (§4.1).
+#[test]
+fn delay_is_interruptible_by_abort() {
+    let mut cfg = MachineConfig::single_socket(2);
+    cfg.check_invariants = false;
+    let (_, times) = run_n(cfg, word_setup, |ctx, a| {
+        if ctx.thread_id() == 0 {
+            // Reader transaction with a huge delay.
+            let t0 = ctx.now();
+            let _ = (|| -> coherence::TxResult<()> {
+                ctx.tx_begin()?;
+                ctx.tx_read(a)?;
+                ctx.tx_delay(1_000_000)?;
+                ctx.tx_end()?;
+                Ok(())
+            })();
+            ctx.now() - t0
+        } else {
+            ctx.delay(500);
+            ctx.write(a, 1);
+            0
+        }
+    });
+    assert!(
+        times[0] < 100_000,
+        "delay must be interrupted early, took {} cycles",
+        times[0]
+    );
+}
+
+/// Spurious aborts fire at the configured rate and are distinguishable
+/// from conflicts.
+#[test]
+fn spurious_aborts_injected() {
+    let mut cfg = MachineConfig::single_socket(1);
+    cfg.spurious_abort_prob = 1.0;
+    let (report, vals) = run_n(cfg, word_setup, |ctx, a| {
+        let r = (|| -> coherence::TxResult<()> {
+            ctx.tx_begin()?;
+            let v = ctx.tx_read(a)?;
+            ctx.tx_write(a, v + 1)?;
+            ctx.tx_end()?;
+            Ok(())
+        })();
+        r.unwrap_err().status
+    });
+    assert_eq!(report.stats.tx_aborts_spurious, 1);
+    assert!(!coherence::txn::is_conflict(vals[0]));
+    assert!(!coherence::txn::is_explicit(vals[0]));
+}
+
+/// Cross-socket messages cost more: the same contended FAA workload takes
+/// longer when contenders straddle sockets (§4.3's motivation).
+#[test]
+fn cross_socket_contention_is_slower() {
+    let run_with = |cfg: MachineConfig| {
+        let (_, times) = run_n(cfg, word_setup, |ctx, a| {
+            const OPS: u64 = 60;
+            let t0 = ctx.now();
+            for _ in 0..OPS {
+                ctx.faa(a, 1);
+            }
+            (ctx.now() - t0) / OPS
+        });
+        times.iter().sum::<u64>() / times.len() as u64
+    };
+    let mut single = MachineConfig::single_socket(8);
+    single.check_invariants = false;
+    let mut dual = MachineConfig::dual_socket(4);
+    dual.check_invariants = false;
+    let t_single = run_with(single);
+    let t_dual = run_with(dual);
+    assert!(
+        t_dual > t_single * 3 / 2,
+        "cross-socket should be slower: {t_single} vs {t_dual}"
+    );
+}
+
+/// Setup-phase state is visible to all measured threads (the warm queue
+/// handoff every benchmark relies on).
+#[test]
+fn setup_state_visible_to_all_threads() {
+    let cfg = MachineConfig::single_socket(5);
+    let (_, vals) = run_n(
+        cfg,
+        |ctx| {
+            let a = ctx.alloc(4);
+            for i in 0..4 {
+                ctx.write(a + i, 100 + i);
+            }
+            a
+        },
+        |ctx, a| (0..4).map(|i| ctx.read(a + i)).sum::<u64>(),
+    );
+    for v in vals {
+        assert_eq!(v, 100 + 101 + 102 + 103);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the SBQ building blocks against executable
+//! reference models.
+
+use absmem::native::NativeHeap;
+use absmem::{StandardCas, ThreadCtx};
+use proptest::prelude::*;
+use sbq::basket::{Basket, SbqBasket, NULL_ELEM};
+use sbq::modular::{EnqueuerState, ModularQueue, QueueConfig};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Sequential queue operations driven from a proptest-generated script:
+/// the modular SBQ must match a VecDeque exactly.
+fn check_against_model(ops: &[bool], basket_cap: usize) {
+    let heap = Arc::new(NativeHeap::new(1 << 22));
+    let mut ctx = heap.ctx(0);
+    let q = ModularQueue::new(
+        &mut ctx,
+        SbqBasket::new(basket_cap),
+        StandardCas,
+        QueueConfig {
+            max_threads: basket_cap,
+            reclaim: true,
+            poison_on_free: true,
+        },
+    );
+    let mut st = EnqueuerState::default();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut next = 1u64;
+    for &is_enq in ops {
+        if is_enq {
+            q.enqueue(&mut ctx, &mut st, next);
+            model.push_back(next);
+            next += 1;
+        } else {
+            assert_eq!(q.dequeue(&mut ctx), model.pop_front());
+        }
+    }
+    // Drain and compare the remainder.
+    while let Some(m) = model.pop_front() {
+        assert_eq!(q.dequeue(&mut ctx), Some(m));
+    }
+    assert_eq!(q.dequeue(&mut ctx), None);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sbq_matches_fifo_model(ops in proptest::collection::vec(proptest::bool::ANY, 1..400)) {
+        check_against_model(&ops, 4);
+    }
+
+    #[test]
+    fn sbq_matches_fifo_model_tiny_basket(ops in proptest::collection::vec(proptest::bool::ANY, 1..200)) {
+        check_against_model(&ops, 1);
+    }
+
+    /// Basket invariant: a sequential mix of inserts and extracts never
+    /// loses or duplicates an element, and once empty is indicated no
+    /// extract succeeds (the §5.3.2 property).
+    #[test]
+    fn basket_conserves_and_empty_is_sticky(
+        script in proptest::collection::vec((0usize..4, proptest::bool::ANY), 1..60)
+    ) {
+        let cap = 4;
+        let b = SbqBasket::new(cap);
+        let heap = Arc::new(NativeHeap::new(1 << 16));
+        let mut ctx = heap.ctx(0);
+        let base = ctx.alloc(b.words());
+        b.init(&mut ctx, base);
+
+        let mut inserted: Vec<u64> = Vec::new();
+        let mut extracted: Vec<u64> = Vec::new();
+        let mut used_ids = [false; 4];
+        let mut empty_seen = false;
+        let mut v = 100u64;
+        for (id, do_insert) in script {
+            if do_insert && !used_ids[id] {
+                v += 1;
+                if b.insert(&mut ctx, base, v, id) {
+                    inserted.push(v);
+                }
+                used_ids[id] = true;
+            } else {
+                let e = b.extract(&mut ctx, base, id);
+                if e != NULL_ELEM {
+                    prop_assert!(!empty_seen, "extract succeeded after empty indication");
+                    extracted.push(e);
+                } else {
+                    empty_seen = true;
+                }
+                if b.is_empty(&mut ctx, base) {
+                    empty_seen = true;
+                }
+            }
+        }
+        // Drain.
+        loop {
+            let e = b.extract(&mut ctx, base, 0);
+            if e == NULL_ELEM { break; }
+            prop_assert!(!empty_seen, "extract succeeded after empty indication");
+            extracted.push(e);
+        }
+        // No duplicates, and everything extracted was inserted.
+        let mut ex = extracted.clone();
+        ex.sort_unstable();
+        ex.dedup();
+        prop_assert_eq!(ex.len(), extracted.len());
+        for e in &extracted {
+            prop_assert!(inserted.contains(e));
+        }
+    }
+}
+
+/// Non-proptest regression: a dequeue interleaved through many nodes
+/// (basket capacity 2) exercises the node-skip path.
+#[test]
+fn dequeue_skips_emptied_nodes() {
+    let heap = Arc::new(NativeHeap::new(1 << 22));
+    let mut ctx = heap.ctx(0);
+    let q = ModularQueue::new(
+        &mut ctx,
+        SbqBasket::new(2),
+        StandardCas,
+        QueueConfig {
+            max_threads: 2,
+            reclaim: false,
+            poison_on_free: false,
+        },
+    );
+    let mut st = EnqueuerState::default();
+    for i in 1..=64u64 {
+        q.enqueue(&mut ctx, &mut st, i);
+    }
+    for i in 1..=64u64 {
+        assert_eq!(q.dequeue(&mut ctx), Some(i));
+    }
+    assert_eq!(q.dequeue(&mut ctx), None);
+}

@@ -1,0 +1,223 @@
+//! # htm — the transactional programming interface
+//!
+//! The coherence simulator exposes raw transaction plumbing on
+//! [`coherence::SimCtx`] (`tx_begin` / `tx_end` / `tx_abort` and fallible
+//! transactional loads, stores and delays). This crate wraps that plumbing
+//! in the control-flow shape of Intel RTM, which the paper's TxCAS
+//! pseudocode (Algorithm 1) is written against:
+//!
+//! * [`transaction`] is the top-level `_xbegin()`/`_xend()` pair: it runs
+//!   the body, commits on success, and returns the abort status word when
+//!   the hardware (here: the simulated requester-wins conflict logic)
+//!   kills the attempt;
+//! * [`nested`] opens a flat-nested inner transaction — TxCAS runs its CAS
+//!   *read* in one so that a later abort reveals, via the
+//!   [`coherence::txn::NESTED`] status bit, whether the CAS *write* had
+//!   executed yet (§4.2);
+//! * aborts unwind as `Err(Abort)` through the body (`?`), standing in for
+//!   the hardware's checkpoint restore.
+//!
+//! The [`HtmOps`] trait abstracts the backend so that TxCAS and the
+//! SBQ queue are written once; today the simulator is the only backend
+//! (real RTM is fused off on current hardware — see DESIGN.md §1), but the
+//! trait is the seam where `asm!`-based RTM bindings would slot in.
+
+use absmem::{Addr, ThreadCtx};
+use coherence::txn::{Abort, TxResult};
+
+/// Re-exported abort-status helpers (bit constants and predicates).
+pub mod status {
+    pub use coherence::txn::{
+        code, explicit, is_conflict, is_explicit, is_nested, CONFLICT, EXPLICIT, NESTED, RETRY,
+        SPURIOUS,
+    };
+}
+
+/// The raw HTM operations a backend must provide, in addition to ordinary
+/// shared-memory access.
+pub trait HtmOps: ThreadCtx {
+    /// Starts a (possibly nested, flat) transaction.
+    fn htm_begin(&mut self) -> TxResult<()>;
+    /// Commits the innermost transaction; at top level this blocks until
+    /// the transactional write's ownership request completes.
+    fn htm_end(&mut self) -> TxResult<()>;
+    /// Self-aborts the running transaction with an 8-bit code.
+    fn htm_abort(&mut self, code: u8) -> Abort;
+    /// Transactional load: adds the line to the read set.
+    fn htm_read(&mut self, a: Addr) -> TxResult<u64>;
+    /// Transactional store: adds the line to the write set.
+    fn htm_write(&mut self, a: Addr, v: u64) -> TxResult<()>;
+    /// In-transaction delay, interruptible by an abort.
+    fn htm_delay(&mut self, cycles: u64) -> TxResult<()>;
+}
+
+impl HtmOps for coherence::SimCtx {
+    fn htm_begin(&mut self) -> TxResult<()> {
+        self.tx_begin()
+    }
+    fn htm_end(&mut self) -> TxResult<()> {
+        self.tx_end()
+    }
+    fn htm_abort(&mut self, code: u8) -> Abort {
+        self.tx_abort(code)
+    }
+    fn htm_read(&mut self, a: Addr) -> TxResult<u64> {
+        self.tx_read(a)
+    }
+    fn htm_write(&mut self, a: Addr, v: u64) -> TxResult<()> {
+        self.tx_write(a, v)
+    }
+    fn htm_delay(&mut self, cycles: u64) -> TxResult<()> {
+        self.tx_delay(cycles)
+    }
+}
+
+/// Runs `body` as a top-level hardware transaction.
+///
+/// Returns `Ok(r)` if the body ran to completion and the commit succeeded,
+/// or `Err(status)` with the RTM-style status word if the transaction
+/// aborted at any point (conflict, explicit `htm_abort`, or spurious).
+/// After an abort all transactional effects have been rolled back, exactly
+/// like the hardware register/memory checkpoint restore.
+///
+/// The body must propagate `Err(Abort)` outward (use `?`); issuing further
+/// transactional operations after observing an abort is a logic error.
+pub fn transaction<C: HtmOps, R>(
+    ctx: &mut C,
+    body: impl FnOnce(&mut C) -> TxResult<R>,
+) -> Result<R, u32> {
+    if let Err(a) = ctx.htm_begin() {
+        return Err(a.status);
+    }
+    match body(ctx) {
+        Ok(r) => match ctx.htm_end() {
+            Ok(()) => Ok(r),
+            Err(a) => Err(a.status),
+        },
+        Err(a) => Err(a.status),
+    }
+}
+
+/// Runs `body` as a flat-nested inner transaction; composes with `?`
+/// inside a [`transaction`] body. An abort inside the nested region kills
+/// the whole (flat) transaction and carries the NESTED status bit.
+pub fn nested<C: HtmOps, R>(ctx: &mut C, body: impl FnOnce(&mut C) -> TxResult<R>) -> TxResult<R> {
+    ctx.htm_begin()?;
+    let r = body(ctx)?;
+    ctx.htm_end()?;
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coherence::{Machine, MachineConfig, Program, SimCtx};
+    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+    use std::sync::{Arc, Mutex};
+
+    fn run1(f: impl FnOnce(&mut SimCtx, u64) -> u64 + Send + 'static) -> u64 {
+        let cfg = MachineConfig::single_socket(1);
+        let shared = Arc::new(AtomicU64::new(0));
+        let out = Arc::new(Mutex::new(0u64));
+        let (s2, o2) = (Arc::clone(&shared), Arc::clone(&out));
+        Machine::new(cfg).run(
+            Box::new(move |ctx| {
+                let a = ctx.alloc(1);
+                ctx.write(a, 0);
+                s2.store(a, SeqCst);
+            }),
+            vec![Box::new(move |ctx: &mut SimCtx| {
+                let a = shared.load(SeqCst);
+                *o2.lock().unwrap() = f(ctx, a);
+            }) as Program],
+        );
+        let v = *out.lock().unwrap();
+        v
+    }
+
+    #[test]
+    fn transaction_commits_and_returns_body_value() {
+        let v = run1(|ctx, a| {
+            let r = transaction(ctx, |ctx| {
+                let v = ctx.htm_read(a)?;
+                ctx.htm_write(a, v + 5)?;
+                Ok(v + 100)
+            });
+            assert_eq!(r, Ok(100));
+            ctx.read(a)
+        });
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn explicit_abort_reports_status_and_rolls_back() {
+        let v = run1(|ctx, a| {
+            let r: Result<(), u32> = transaction(ctx, |ctx| {
+                ctx.htm_write(a, 77)?;
+                Err(ctx.htm_abort(9))
+            });
+            let status = r.unwrap_err();
+            assert!(status::is_explicit(status));
+            assert_eq!(status::code(status), 9);
+            ctx.read(a)
+        });
+        assert_eq!(v, 0, "write rolled back");
+    }
+
+    #[test]
+    fn nested_abort_carries_nested_bit_to_top_level() {
+        let _ = run1(|ctx, a| {
+            let r: Result<(), u32> = transaction(ctx, |ctx| {
+                nested(ctx, |ctx| {
+                    let v = ctx.htm_read(a)?;
+                    if v == 0 {
+                        return Err(ctx.htm_abort(1));
+                    }
+                    Ok(())
+                })?;
+                ctx.htm_write(a, 1)?;
+                Ok(())
+            });
+            let status = r.unwrap_err();
+            assert!(status::is_nested(status), "abort was inside the nested txn");
+            assert!(status::is_explicit(status));
+            0
+        });
+    }
+
+    #[test]
+    fn abort_after_nested_commit_is_not_nested() {
+        let _ = run1(|ctx, a| {
+            let r: Result<(), u32> = transaction(ctx, |ctx| {
+                nested(ctx, |ctx| {
+                    ctx.htm_read(a)?;
+                    Ok(())
+                })?;
+                // Abort in the main transaction, after the nested commit.
+                Err(ctx.htm_abort(2))
+            });
+            let status = r.unwrap_err();
+            assert!(
+                !status::is_nested(status),
+                "abort happened outside the nested region"
+            );
+            0
+        });
+    }
+
+    #[test]
+    fn sequential_transactions_are_independent() {
+        let v = run1(|ctx, a| {
+            for _ in 0..10 {
+                let r = transaction(ctx, |ctx| {
+                    let v = ctx.htm_read(a)?;
+                    ctx.htm_write(a, v + 1)?;
+                    Ok(())
+                });
+                assert!(r.is_ok());
+            }
+            ctx.read(a)
+        });
+        assert_eq!(v, 10);
+    }
+}

@@ -1,0 +1,472 @@
+//! # linearize — aspect-oriented queue linearizability checking
+//!
+//! The paper proves SBQ linearizable with the aspect-oriented framework of
+//! Henzinger, Sezgin & Vafeiadis (CONCUR 2013): a complete concurrent
+//! queue history (with unique enqueued values) is linearizable iff it is
+//! free of four violation patterns (§5.3.2). This crate checks recorded
+//! histories for those patterns, giving the test suite a machine-checkable
+//! version of the paper's correctness argument:
+//!
+//! * **VFresh** — a dequeue returns a value never enqueued;
+//! * **VRepeat** — two dequeues return the value of the same enqueue;
+//! * **VOrd** — FIFO order inversion: `enqueue(a)` precedes `enqueue(b)`,
+//!   `b` is dequeued, but `a` either is never dequeued or its dequeue is
+//!   invoked only after `b`'s dequeue completes;
+//! * **VWit** — a dequeue returns NULL (empty) although some element was
+//!   enqueued before the dequeue's invocation and remained undequeued
+//!   throughout the dequeue's whole interval.
+//!
+//! The checks are *sound*: every reported violation is a real
+//! non-linearizability witness. They are conservative for VWit/VOrd in
+//! the presence of overlapping intervals (a racy-but-legal history is
+//! never flagged).
+//!
+//! Timestamps are arbitrary `u64`s; the only requirement is that for any
+//! two events where one *returns before the other is invoked*, the
+//! recorded numbers reflect it. A shared atomic counter (native runs) or
+//! the simulated clock (simulator runs) both qualify.
+
+use std::collections::HashMap;
+
+/// One completed queue operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `enqueue(value)`; values must be unique across the history.
+    Enq(u64),
+    /// A dequeue that returned `value`.
+    DeqSome(u64),
+    /// A dequeue that reported the queue empty.
+    DeqNull,
+}
+
+/// A recorded operation with its execution interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Executing thread (diagnostics only).
+    pub thread: usize,
+    /// The operation and its payload.
+    pub op: Op,
+    /// Invocation timestamp.
+    pub invoke: u64,
+    /// Return timestamp; must be `>= invoke`.
+    pub ret: u64,
+}
+
+/// A detected linearizability violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Dequeued value was never enqueued.
+    Fresh { value: u64 },
+    /// Value dequeued more than once.
+    Repeat { value: u64 },
+    /// FIFO inversion between the enqueues of `first` and `second`.
+    Ord { first: u64, second: u64 },
+    /// Empty-dequeue although `witness` was present throughout.
+    Wit { witness: u64, deq_thread: usize },
+    /// Malformed history (duplicate enqueue value, interval with
+    /// `ret < invoke`, ...): the *recording* is broken, not the queue.
+    Malformed { reason: String },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Fresh { value } => write!(f, "VFresh: value {value} never enqueued"),
+            Violation::Repeat { value } => write!(f, "VRepeat: value {value} dequeued twice"),
+            Violation::Ord { first, second } => write!(
+                f,
+                "VOrd: enq({first}) completed before enq({second}) began, but FIFO was inverted"
+            ),
+            Violation::Wit {
+                witness,
+                deq_thread,
+            } => write!(
+                f,
+                "VWit: thread {deq_thread} saw empty while {witness} was enqueued and undequeued"
+            ),
+            Violation::Malformed { reason } => write!(f, "malformed history: {reason}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    invoke: u64,
+    ret: u64,
+}
+
+/// Checks a complete queue history; returns the first violation found.
+///
+/// Requirements on the input: every operation has completed (no pending
+/// calls — complete your histories by joining all threads first), and
+/// enqueued values are unique.
+pub fn check_queue_history(events: &[Event]) -> Result<(), Violation> {
+    let mut enq: HashMap<u64, Interval> = HashMap::new();
+    let mut deq: HashMap<u64, Interval> = HashMap::new();
+    let mut nulls: Vec<(usize, Interval)> = Vec::new();
+
+    for e in events {
+        if e.ret < e.invoke {
+            return Err(Violation::Malformed {
+                reason: format!("event {e:?} returns before invocation"),
+            });
+        }
+        let iv = Interval {
+            invoke: e.invoke,
+            ret: e.ret,
+        };
+        match e.op {
+            Op::Enq(v) => {
+                if enq.insert(v, iv).is_some() {
+                    return Err(Violation::Malformed {
+                        reason: format!("value {v} enqueued twice"),
+                    });
+                }
+            }
+            Op::DeqSome(v) => {
+                if deq.insert(v, iv).is_some() {
+                    return Err(Violation::Repeat { value: v });
+                }
+            }
+            Op::DeqNull => nulls.push((e.thread, iv)),
+        }
+    }
+
+    // VFresh: every dequeued value has a matching enqueue.
+    for v in deq.keys() {
+        if !enq.contains_key(v) {
+            return Err(Violation::Fresh { value: *v });
+        }
+    }
+
+    // VOrd: for a,b with enq(a).ret < enq(b).invoke and b dequeued:
+    // a must be dequeued, and deq(a) must be invoked before deq(b)
+    // returns.
+    // Sort enqueues by return time so each b only scans a-candidates that
+    // finished before it began.
+    let mut enq_by_ret: Vec<(u64, Interval)> = enq.iter().map(|(&v, &iv)| (v, iv)).collect();
+    enq_by_ret.sort_by_key(|(_, iv)| iv.ret);
+    for (&b, biv) in &enq {
+        let Some(db) = deq.get(&b) else { continue };
+        for &(a, aiv) in &enq_by_ret {
+            if aiv.ret >= biv.invoke {
+                break; // sorted: no further candidates strictly precede b
+            }
+            match deq.get(&a) {
+                None => {
+                    return Err(Violation::Ord {
+                        first: a,
+                        second: b,
+                    })
+                }
+                Some(da) => {
+                    if da.invoke > db.ret {
+                        return Err(Violation::Ord {
+                            first: a,
+                            second: b,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // VWit: a null dequeue D is a violation if some value x was enqueued
+    // (completed) before D's invocation and x's dequeue (if any) was
+    // invoked only after D returned — i.e. x was inside the queue for all
+    // of D's interval.
+    for (thread, d) in &nulls {
+        for (&x, xiv) in &enq {
+            if xiv.ret >= d.invoke {
+                continue;
+            }
+            let gone_during_d = match deq.get(&x) {
+                None => false,
+                Some(dx) => dx.invoke <= d.ret,
+            };
+            if !gone_during_d {
+                return Err(Violation::Wit {
+                    witness: x,
+                    deq_thread: *thread,
+                });
+            }
+        }
+    }
+
+    Ok(())
+}
+
+/// Convenience recorder: collects events with timestamps from a shared
+/// atomic counter, one recorder per thread, merged at the end.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Vec<Event>,
+}
+
+impl Recorder {
+    /// Creates an empty per-thread recorder.
+    pub fn new() -> Self {
+        Recorder { events: Vec::new() }
+    }
+
+    /// Records one completed operation.
+    pub fn record(&mut self, thread: usize, op: Op, invoke: u64, ret: u64) {
+        self.events.push(Event {
+            thread,
+            op,
+            invoke,
+            ret,
+        });
+    }
+
+    /// Consumes the recorder, returning its events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Merges several per-thread recorders into one history.
+    pub fn merge(recorders: impl IntoIterator<Item = Recorder>) -> Vec<Event> {
+        recorders.into_iter().flat_map(|r| r.events).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(thread: usize, op: Op, invoke: u64, ret: u64) -> Event {
+        Event {
+            thread,
+            op,
+            invoke,
+            ret,
+        }
+    }
+
+    #[test]
+    fn empty_history_ok() {
+        assert_eq!(check_queue_history(&[]), Ok(()));
+    }
+
+    #[test]
+    fn sequential_fifo_ok() {
+        let h = vec![
+            ev(0, Op::Enq(1), 0, 1),
+            ev(0, Op::Enq(2), 2, 3),
+            ev(0, Op::DeqSome(1), 4, 5),
+            ev(0, Op::DeqSome(2), 6, 7),
+            ev(0, Op::DeqNull, 8, 9),
+        ];
+        assert_eq!(check_queue_history(&h), Ok(()));
+    }
+
+    #[test]
+    fn detects_fresh() {
+        let h = vec![ev(0, Op::DeqSome(9), 0, 1)];
+        assert_eq!(check_queue_history(&h), Err(Violation::Fresh { value: 9 }));
+    }
+
+    #[test]
+    fn detects_repeat() {
+        let h = vec![
+            ev(0, Op::Enq(1), 0, 1),
+            ev(0, Op::DeqSome(1), 2, 3),
+            ev(1, Op::DeqSome(1), 2, 3),
+        ];
+        assert_eq!(check_queue_history(&h), Err(Violation::Repeat { value: 1 }));
+    }
+
+    #[test]
+    fn detects_ord_when_first_never_dequeued() {
+        let h = vec![
+            ev(0, Op::Enq(1), 0, 1),
+            ev(0, Op::Enq(2), 2, 3),
+            ev(1, Op::DeqSome(2), 4, 5),
+        ];
+        assert_eq!(
+            check_queue_history(&h),
+            Err(Violation::Ord {
+                first: 1,
+                second: 2
+            })
+        );
+    }
+
+    #[test]
+    fn detects_ord_inverted_dequeues() {
+        let h = vec![
+            ev(0, Op::Enq(1), 0, 1),
+            ev(0, Op::Enq(2), 2, 3),
+            ev(1, Op::DeqSome(2), 4, 5),
+            ev(1, Op::DeqSome(1), 6, 7), // invoked after deq(2) returned
+        ];
+        assert_eq!(
+            check_queue_history(&h),
+            Err(Violation::Ord {
+                first: 1,
+                second: 2
+            })
+        );
+    }
+
+    #[test]
+    fn overlapping_enqueues_any_order_ok() {
+        // enq(1) and enq(2) overlap: either dequeue order linearizes.
+        let h = vec![
+            ev(0, Op::Enq(1), 0, 10),
+            ev(1, Op::Enq(2), 0, 10),
+            ev(2, Op::DeqSome(2), 11, 12),
+            ev(2, Op::DeqSome(1), 13, 14),
+        ];
+        assert_eq!(check_queue_history(&h), Ok(()));
+    }
+
+    #[test]
+    fn overlapping_dequeues_any_order_ok() {
+        let h = vec![
+            ev(0, Op::Enq(1), 0, 1),
+            ev(0, Op::Enq(2), 2, 3),
+            // Two dequeues overlap; (2) may "return first".
+            ev(1, Op::DeqSome(2), 4, 9),
+            ev(2, Op::DeqSome(1), 4, 9),
+        ];
+        assert_eq!(check_queue_history(&h), Ok(()));
+    }
+
+    #[test]
+    fn detects_wit() {
+        let h = vec![
+            ev(0, Op::Enq(1), 0, 1),
+            ev(1, Op::DeqNull, 2, 3), // 1 is inside and undequeued
+            ev(2, Op::DeqSome(1), 4, 5),
+        ];
+        assert!(matches!(
+            check_queue_history(&h),
+            Err(Violation::Wit { witness: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn null_concurrent_with_enqueue_ok() {
+        // enq(1) overlaps the null dequeue: the null can linearize first.
+        let h = vec![
+            ev(0, Op::Enq(1), 0, 5),
+            ev(1, Op::DeqNull, 2, 3),
+            ev(1, Op::DeqSome(1), 6, 7),
+        ];
+        assert_eq!(check_queue_history(&h), Ok(()));
+    }
+
+    #[test]
+    fn null_concurrent_with_removing_dequeue_ok() {
+        // x's dequeue overlaps the null: x may leave before the null
+        // linearizes.
+        let h = vec![
+            ev(0, Op::Enq(1), 0, 1),
+            ev(1, Op::DeqSome(1), 2, 10),
+            ev(2, Op::DeqNull, 3, 9),
+        ];
+        assert_eq!(check_queue_history(&h), Ok(()));
+    }
+
+    #[test]
+    fn rejects_malformed_duplicate_enqueue() {
+        let h = vec![ev(0, Op::Enq(1), 0, 1), ev(1, Op::Enq(1), 2, 3)];
+        assert!(matches!(
+            check_queue_history(&h),
+            Err(Violation::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_interval() {
+        let h = vec![ev(0, Op::Enq(1), 5, 1)];
+        assert!(matches!(
+            check_queue_history(&h),
+            Err(Violation::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn recorder_merge_collects_everything() {
+        let mut r1 = Recorder::new();
+        let mut r2 = Recorder::new();
+        r1.record(0, Op::Enq(1), 0, 1);
+        r2.record(1, Op::DeqSome(1), 2, 3);
+        let h = Recorder::merge([r1, r2]);
+        assert_eq!(h.len(), 2);
+        assert_eq!(check_queue_history(&h), Ok(()));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Generates a random *valid* sequential history by simulating a real
+    /// FIFO queue, then perturbs nothing: the checker must accept it.
+    fn valid_history(ops: Vec<bool>) -> Vec<Event> {
+        let mut q = std::collections::VecDeque::new();
+        let mut t = 0u64;
+        let mut next_v = 1u64;
+        let mut h = Vec::new();
+        for is_enq in ops {
+            let (i, r) = (t, t + 1);
+            t += 2;
+            if is_enq {
+                q.push_back(next_v);
+                h.push(Event {
+                    thread: 0,
+                    op: Op::Enq(next_v),
+                    invoke: i,
+                    ret: r,
+                });
+                next_v += 1;
+            } else {
+                match q.pop_front() {
+                    Some(v) => h.push(Event {
+                        thread: 0,
+                        op: Op::DeqSome(v),
+                        invoke: i,
+                        ret: r,
+                    }),
+                    None => h.push(Event {
+                        thread: 0,
+                        op: Op::DeqNull,
+                        invoke: i,
+                        ret: r,
+                    }),
+                }
+            }
+        }
+        h
+    }
+
+    proptest! {
+        #[test]
+        fn accepts_all_valid_sequential_histories(ops in proptest::collection::vec(proptest::bool::ANY, 0..200)) {
+            let h = valid_history(ops);
+            prop_assert_eq!(check_queue_history(&h), Ok(()));
+        }
+
+        /// Swapping the values of two distinct non-adjacent dequeues in a
+        /// long valid history must produce a detectable violation.
+        #[test]
+        fn detects_injected_order_swap(n in 4usize..40) {
+            // Build: n enqueues then n dequeues, all sequential.
+            let ops: Vec<bool> = (0..n).map(|_| true).chain((0..n).map(|_| false)).collect();
+            let mut h = valid_history(ops);
+            // Swap the first and last dequeue's values.
+            let d1 = 2 * n - n; // first dequeue index in h
+            let d2 = h.len() - 1;
+            let (a, b) = match (h[d1].op, h[d2].op) {
+                (Op::DeqSome(a), Op::DeqSome(b)) => (a, b),
+                _ => unreachable!(),
+            };
+            h[d1].op = Op::DeqSome(b);
+            h[d2].op = Op::DeqSome(a);
+            prop_assert!(check_queue_history(&h).is_err());
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! A scalable word-range allocator used as the reproduction's stand-in for
+//! the Memkind allocator the paper's evaluation links against.
+//!
+//! Both the native (real-atomics) queue backend and the cache-coherence
+//! simulator address memory as a flat array of 64-bit words. This crate
+//! hands out *address ranges* in that word space; it never touches the word
+//! contents. The design mirrors what matters about Memkind for the paper's
+//! benchmarks: allocation must not become a contended serialization point,
+//! so each thread owns a cache of free blocks per size class and only falls
+//! back to a shared pool in batches.
+//!
+//! Address 0 is reserved as the `NULL` sentinel and is never handed out.
+//!
+//! ```
+//! use simalloc::WordPool;
+//! use std::sync::Arc;
+//!
+//! let pool = Arc::new(WordPool::new(1 << 20));
+//! let mut a = pool.thread_cache();
+//! let node = a.alloc(4);
+//! assert_ne!(node, 0);
+//! a.free(node, 4);
+//! assert_eq!(a.alloc(4), node); // served from the local cache
+//! ```
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of size classes. Class `c` holds blocks of `1 << c` words, so the
+/// largest supported allocation is `1 << (NUM_CLASSES - 1)` words (32 Mi
+/// words — far beyond anything the queues allocate).
+const NUM_CLASSES: usize = 26;
+
+/// A thread refills its local cache with this many blocks at once, and
+/// returns half of an overfull class to the shared pool. Batching is what
+/// keeps the shared mutex off the benchmark fast path.
+const REFILL_BATCH: usize = 32;
+
+/// Local cache capacity per size class before spilling to the shared pool.
+const LOCAL_CAP: usize = 2 * REFILL_BATCH;
+
+/// Statistics counters maintained with relaxed atomics; cheap enough to keep
+/// on in production builds.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    refills: AtomicU64,
+    spills: AtomicU64,
+}
+
+/// A snapshot of [`PoolStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total successful `alloc` calls across all thread caches.
+    pub allocs: u64,
+    /// Total `free` calls across all thread caches.
+    pub frees: u64,
+    /// Times a thread cache had to visit the shared pool to refill.
+    pub refills: u64,
+    /// Times a thread cache spilled excess blocks to the shared pool.
+    pub spills: u64,
+}
+
+/// The shared word pool. Clone an [`Arc`] of it into each thread and call
+/// [`WordPool::thread_cache`] to obtain that thread's allocation handle.
+pub struct WordPool {
+    /// Next never-allocated address. Grows monotonically; the word space is
+    /// virtual (the simulator materializes words lazily), so running past a
+    /// physical heap is the *backend's* concern, not ours.
+    frontier: AtomicU64,
+    /// Shared free lists, one per size class.
+    global: [Mutex<Vec<u64>>; NUM_CLASSES],
+    stats: PoolStats,
+}
+
+impl WordPool {
+    /// Creates a pool whose bump frontier starts at `base_hint.max(8)`.
+    /// The argument is a hint for how much address space the caller expects
+    /// to pre-reserve below the frontier (address 0..base are never issued);
+    /// passing the heap size keeps simulator heaps and native heaps laid out
+    /// identically.
+    pub fn new(base_hint: u64) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed only
+        const EMPTY: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        WordPool {
+            frontier: AtomicU64::new(base_hint.max(8)),
+            global: [EMPTY; NUM_CLASSES],
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Returns a fresh per-thread allocation cache.
+    pub fn thread_cache(self: &Arc<Self>) -> ThreadCache {
+        ThreadCache {
+            pool: Arc::clone(self),
+            local: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+
+    /// Current bump frontier — the high-water mark of address space ever
+    /// issued. Backends size their physical storage from this.
+    pub fn high_water(&self) -> u64 {
+        self.frontier.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the allocation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            allocs: self.stats.allocs.load(Ordering::Relaxed),
+            frees: self.stats.frees.load(Ordering::Relaxed),
+            refills: self.stats.refills.load(Ordering::Relaxed),
+            spills: self.stats.spills.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Size class for an allocation of `words` words.
+    fn class_of(words: usize) -> usize {
+        assert!(words > 0, "zero-size allocation");
+        let c = usize::BITS as usize - (words - 1).leading_zeros() as usize;
+        let c = if words == 1 { 0 } else { c };
+        assert!(c < NUM_CLASSES, "allocation of {words} words too large");
+        c
+    }
+
+    /// Block size (in words) of class `c`.
+    fn class_words(c: usize) -> u64 {
+        1u64 << c
+    }
+
+    fn refill(&self, class: usize, out: &mut Vec<u64>) {
+        self.stats.refills.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut g = self.global[class].lock();
+            let take = REFILL_BATCH.min(g.len());
+            if take > 0 {
+                let at = g.len() - take;
+                out.extend(g.drain(at..));
+                return;
+            }
+        }
+        // Shared list empty: carve a fresh batch from the frontier. One
+        // fetch_add covers the whole batch, so frontier contention is
+        // 1/REFILL_BATCH of the allocation rate.
+        let sz = Self::class_words(class);
+        let start = self
+            .frontier
+            .fetch_add(sz * REFILL_BATCH as u64, Ordering::Relaxed);
+        out.extend((0..REFILL_BATCH as u64).map(|i| start + i * sz));
+    }
+
+    fn spill(&self, class: usize, local: &mut Vec<u64>) {
+        self.stats.spills.fetch_add(1, Ordering::Relaxed);
+        let keep = LOCAL_CAP / 2;
+        let mut g = self.global[class].lock();
+        g.extend(local.drain(keep..));
+    }
+}
+
+impl std::fmt::Debug for WordPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WordPool")
+            .field("frontier", &self.high_water())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Per-thread allocation handle. Not `Sync`; create one per thread.
+pub struct ThreadCache {
+    pool: Arc<WordPool>,
+    local: [Vec<u64>; NUM_CLASSES],
+}
+
+impl ThreadCache {
+    /// Allocates a block of at least `words` words and returns its base
+    /// address. Never returns 0.
+    pub fn alloc(&mut self, words: usize) -> u64 {
+        let class = WordPool::class_of(words);
+        self.pool.stats.allocs.fetch_add(1, Ordering::Relaxed);
+        if let Some(a) = self.local[class].pop() {
+            return a;
+        }
+        self.pool.refill(class, &mut self.local[class]);
+        self.local[class]
+            .pop()
+            .expect("refill always yields at least one block")
+    }
+
+    /// Returns a block previously obtained from [`alloc`](Self::alloc) with
+    /// the same `words` argument (rounding to the size class is handled
+    /// internally, so passing the original request size is correct).
+    pub fn free(&mut self, addr: u64, words: usize) {
+        assert_ne!(addr, 0, "freeing NULL");
+        let class = WordPool::class_of(words);
+        self.pool.stats.frees.fetch_add(1, Ordering::Relaxed);
+        self.local[class].push(addr);
+        if self.local[class].len() > LOCAL_CAP {
+            self.pool.spill(class, &mut self.local[class]);
+        }
+    }
+
+    /// The shared pool this cache draws from.
+    pub fn pool(&self) -> &Arc<WordPool> {
+        &self.pool
+    }
+}
+
+impl Drop for ThreadCache {
+    fn drop(&mut self) {
+        // Return everything to the shared pool so short-lived threads do not
+        // leak address space.
+        for (class, list) in self.local.iter_mut().enumerate() {
+            if !list.is_empty() {
+                let mut g = self.pool.global[class].lock();
+                g.append(list);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn pool() -> Arc<WordPool> {
+        Arc::new(WordPool::new(8))
+    }
+
+    #[test]
+    fn class_of_rounds_to_power_of_two() {
+        assert_eq!(WordPool::class_of(1), 0);
+        assert_eq!(WordPool::class_of(2), 1);
+        assert_eq!(WordPool::class_of(3), 2);
+        assert_eq!(WordPool::class_of(4), 2);
+        assert_eq!(WordPool::class_of(5), 3);
+        assert_eq!(WordPool::class_of(64), 6);
+        assert_eq!(WordPool::class_of(65), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-size")]
+    fn zero_alloc_panics() {
+        WordPool::class_of(0);
+    }
+
+    #[test]
+    fn never_returns_null() {
+        let p = pool();
+        let mut c = p.thread_cache();
+        for sz in [1usize, 2, 3, 7, 100] {
+            assert_ne!(c.alloc(sz), 0);
+        }
+    }
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        let p = pool();
+        let mut c = p.thread_cache();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for i in 0..500usize {
+            let sz = 1 + (i % 9);
+            let a = c.alloc(sz);
+            let end = a + WordPool::class_words(WordPool::class_of(sz));
+            for &(s, e) in &spans {
+                assert!(end <= s || a >= e, "overlap: [{a},{end}) vs [{s},{e})");
+            }
+            spans.push((a, end));
+        }
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_locally() {
+        let p = pool();
+        let mut c = p.thread_cache();
+        let a = c.alloc(4);
+        c.free(a, 4);
+        assert_eq!(c.alloc(4), a);
+        assert_eq!(p.stats().refills, 1, "second alloc must not refill");
+    }
+
+    #[test]
+    fn spill_and_cross_thread_reuse() {
+        let p = pool();
+        let addrs: Vec<u64> = {
+            let mut c = p.thread_cache();
+            let v: Vec<u64> = (0..200).map(|_| c.alloc(2)).collect();
+            for &a in &v {
+                c.free(a, 2);
+            }
+            v
+        }; // drop returns the cache to the pool
+        let mut c2 = p.thread_cache();
+        let set: HashSet<u64> = addrs.into_iter().collect();
+        let reused = (0..200).filter(|_| set.contains(&c2.alloc(2))).count();
+        assert!(reused > 150, "most blocks should be recycled, got {reused}");
+    }
+
+    #[test]
+    fn concurrent_alloc_free_yields_disjoint_live_blocks() {
+        let p = pool();
+        let per_thread: Vec<Vec<u64>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let p = Arc::clone(&p);
+                    s.spawn(move |_| {
+                        let mut c = p.thread_cache();
+                        let mut live = Vec::new();
+                        for i in 0..2000usize {
+                            let sz = 1 + (i % 5);
+                            let a = c.alloc(sz);
+                            if i % 3 == 0 {
+                                c.free(a, sz);
+                            } else {
+                                live.push((a, sz));
+                            }
+                        }
+                        live.iter().map(|&(a, _)| a).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        let mut seen = HashSet::new();
+        for list in per_thread {
+            for a in list {
+                assert!(seen.insert(a), "address {a} live in two threads");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_allocs_and_frees() {
+        let p = pool();
+        let mut c = p.thread_cache();
+        let a = c.alloc(1);
+        let b = c.alloc(1);
+        c.free(a, 1);
+        c.free(b, 1);
+        let s = p.stats();
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 2);
+    }
+
+    #[test]
+    fn high_water_grows_with_frontier_use() {
+        let p = pool();
+        let before = p.high_water();
+        let mut c = p.thread_cache();
+        let _ = c.alloc(1024);
+        assert!(p.high_water() > before);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any interleaving of allocs and frees keeps live blocks disjoint
+        /// and never yields NULL.
+        #[test]
+        fn live_blocks_always_disjoint(ops in proptest::collection::vec((1usize..33, proptest::bool::ANY), 1..300)) {
+            let p = Arc::new(WordPool::new(8));
+            let mut c = p.thread_cache();
+            let mut live: Vec<(u64, usize)> = Vec::new();
+            for (sz, do_free) in ops {
+                if do_free && !live.is_empty() {
+                    let (a, s) = live.swap_remove(live.len() / 2);
+                    c.free(a, s);
+                } else {
+                    let a = c.alloc(sz);
+                    prop_assert_ne!(a, 0);
+                    let end = a + WordPool::class_words(WordPool::class_of(sz));
+                    for &(la, ls) in &live {
+                        let lend = la + WordPool::class_words(WordPool::class_of(ls));
+                        prop_assert!(end <= la || a >= lend);
+                    }
+                    live.push((a, sz));
+                }
+            }
+        }
+    }
+}

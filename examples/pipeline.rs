@@ -1,0 +1,112 @@
+//! A two-stage processing pipeline over SBQ queues — the kind of
+//! producer/consumer structure MPMC queues exist for.
+//!
+//! ```text
+//! cargo run --release --example pipeline
+//! ```
+//!
+//! Stage 1 workers "tokenize" raw records into word counts; stage 2
+//! workers aggregate them. Both stage boundaries are `Sbq<T>` queues, so
+//! any worker can pick up any item (MPMC on both sides).
+
+use sbq::native::Sbq;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Record {
+    id: u64,
+    text: String,
+}
+
+#[derive(Debug)]
+struct Parsed {
+    id: u64,
+    words: usize,
+}
+
+fn main() {
+    const RECORDS: u64 = 50_000;
+    const STAGE1: usize = 2;
+    const STAGE2: usize = 2;
+
+    let raw = Arc::new(Sbq::<Record>::new(1 + STAGE1)); // 1 source + stage1 workers
+    let parsed = Arc::new(Sbq::<Parsed>::new(STAGE1 + STAGE2));
+    let stage1_done = Arc::new(AtomicUsize::new(0));
+    let source_done = Arc::new(AtomicUsize::new(0));
+
+    let (total_words, total_items) = crossbeam::thread::scope(|s| {
+        // Source: feeds raw records.
+        {
+            let mut h = raw.handle();
+            let source_done = Arc::clone(&source_done);
+            s.spawn(move |_| {
+                for id in 0..RECORDS {
+                    h.enqueue(Record {
+                        id,
+                        text: format!("record {id} with a few words to count"),
+                    });
+                }
+                source_done.store(1, SeqCst);
+            });
+        }
+        // Stage 1: tokenize.
+        for _ in 0..STAGE1 {
+            let mut hin = raw.handle();
+            let mut hout = parsed.handle();
+            let source_done = Arc::clone(&source_done);
+            let stage1_done = Arc::clone(&stage1_done);
+            s.spawn(move |_| {
+                loop {
+                    match hin.dequeue() {
+                        Some(rec) => hout.enqueue(Parsed {
+                            id: rec.id,
+                            words: rec.text.split_whitespace().count(),
+                        }),
+                        None => {
+                            if source_done.load(SeqCst) == 1 && hin.is_empty() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                stage1_done.fetch_add(1, SeqCst);
+            });
+        }
+        // Stage 2: aggregate.
+        let aggs: Vec<_> = (0..STAGE2)
+            .map(|_| {
+                let mut h = parsed.handle();
+                let stage1_done = Arc::clone(&stage1_done);
+                s.spawn(move |_| {
+                    let (mut words, mut items) = (0usize, 0usize);
+                    loop {
+                        match h.dequeue() {
+                            Some(p) => {
+                                words += p.words;
+                                items += 1;
+                                debug_assert!(p.id < RECORDS);
+                            }
+                            None => {
+                                if stage1_done.load(SeqCst) == STAGE1 && h.is_empty() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    (words, items)
+                })
+            })
+            .collect();
+        aggs.into_iter()
+            .map(|a| a.join().unwrap())
+            .fold((0, 0), |(w, i), (dw, di)| (w + dw, i + di))
+    })
+    .unwrap();
+
+    println!("pipeline processed {total_items} records, {total_words} words total");
+    assert_eq!(total_items as u64, RECORDS);
+    println!("pipeline OK");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: the production-facing typed queue.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! `Sbq<T>` is the paper's scalable baskets queue on real atomics (the
+//! SBQ-CAS variant — see `sbq::native` docs): a lock-free MPMC FIFO where
+//! contending enqueuers deposit into per-thread basket cells instead of
+//! retrying the tail CAS.
+
+use sbq::native::Sbq;
+use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+
+fn main() {
+    const PRODUCERS: usize = 2;
+    const CONSUMERS: usize = 2;
+    const PER_PRODUCER: u64 = 100_000;
+
+    let queue = Arc::new(Sbq::<u64>::new(PRODUCERS + CONSUMERS));
+    let producers_done = Arc::new(AtomicUsize::new(0));
+
+    let consumed: Vec<usize> = crossbeam::thread::scope(|s| {
+        for p in 0..PRODUCERS as u64 {
+            let mut h = queue.handle();
+            let done = Arc::clone(&producers_done);
+            s.spawn(move |_| {
+                for i in 0..PER_PRODUCER {
+                    h.enqueue(p * PER_PRODUCER + i);
+                }
+                done.fetch_add(1, SeqCst);
+            });
+        }
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let mut h = queue.handle();
+                let done = Arc::clone(&producers_done);
+                s.spawn(move |_| {
+                    let mut n = 0usize;
+                    loop {
+                        match h.dequeue() {
+                            Some(_) => n += 1,
+                            None => {
+                                if done.load(SeqCst) == PRODUCERS && h.is_empty() {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    n
+                })
+            })
+            .collect();
+        consumers.into_iter().map(|c| c.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    let total: usize = consumed.iter().sum();
+    println!("consumed {total} elements across {CONSUMERS} consumers (split: {consumed:?})");
+    assert_eq!(total as u64, PRODUCERS as u64 * PER_PRODUCER);
+    println!("quickstart OK");
+}

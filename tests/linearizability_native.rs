@@ -1,0 +1,261 @@
+//! Cross-crate integration: record concurrent histories of every queue on
+//! the *native* backend and feed them through the aspect-oriented
+//! linearizability checker (the machine-checkable version of the paper's
+//! §5.3.2 argument).
+//!
+//! Timestamps come from one global atomic ticket counter, so real-time
+//! precedence between operations is captured exactly.
+
+use absmem::native::{run_threads, NativeHeap};
+use absmem::ThreadCtx;
+use linearize::{check_queue_history, Event, Op, Recorder};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+static CLOCK: AtomicU64 = AtomicU64::new(0);
+
+fn tick() -> u64 {
+    CLOCK.fetch_add(1, SeqCst)
+}
+
+#[test]
+fn native_sbq_modular_history_is_linearizable() {
+    let heap = Arc::new(NativeHeap::new(1 << 22));
+    let q = {
+        let mut ctx = heap.ctx(0);
+        sbq::queue::new_sbq_cas(
+            &mut ctx,
+            4,
+            4,
+            20,
+            sbq::QueueConfig {
+                max_threads: 4,
+                reclaim: true,
+                poison_on_free: false,
+            },
+        )
+    };
+    let recorders = run_threads(&heap, 4, |ctx| {
+        let tid = ctx.thread_id();
+        let mut st = sbq::EnqueuerState::default();
+        let mut rec = Recorder::new();
+        for i in 0..400u64 {
+            let v = ((tid as u64) << 32) | (i + 1);
+            let t0 = tick();
+            q.enqueue(ctx, &mut st, v);
+            rec.record(tid, Op::Enq(v), t0, tick());
+            let t0 = tick();
+            let r = q.dequeue(ctx);
+            let t1 = tick();
+            match r {
+                Some(x) => rec.record(tid, Op::DeqSome(x), t0, t1),
+                None => rec.record(tid, Op::DeqNull, t0, t1),
+            }
+        }
+        loop {
+            let t0 = tick();
+            match q.dequeue(ctx) {
+                Some(x) => {
+                    let t1 = tick();
+                    rec.record(tid, Op::DeqSome(x), t0, t1);
+                }
+                None => break,
+            }
+        }
+        rec
+    });
+    let history = Recorder::merge(recorders);
+    if let Err(v) = check_queue_history(&history) {
+        panic!("SBQ (modular, native) not linearizable: {v}");
+    }
+}
+
+#[test]
+fn native_ms_queue_history_is_linearizable() {
+    let heap = Arc::new(NativeHeap::new(1 << 22));
+    let q = {
+        let mut ctx = heap.ctx(0);
+        baselines::MsQueue::new(&mut ctx, 4, true)
+    };
+    let history = {
+        let recorders = run_threads(&heap, 4, |ctx| {
+            let tid = ctx.thread_id();
+            let mut rec = Recorder::new();
+            for i in 0..400u64 {
+                let v = ((tid as u64) << 32) | (i + 1);
+                let t0 = tick();
+                q.enqueue(ctx, v);
+                rec.record(tid, Op::Enq(v), t0, tick());
+                if i % 2 == 0 {
+                    let t0 = tick();
+                    let r = q.dequeue(ctx);
+                    let t1 = tick();
+                    match r {
+                        Some(x) => rec.record(tid, Op::DeqSome(x), t0, t1),
+                        None => rec.record(tid, Op::DeqNull, t0, t1),
+                    }
+                }
+            }
+            loop {
+                let t0 = tick();
+                match q.dequeue(ctx) {
+                    Some(x) => {
+                        let t1 = tick();
+                        rec.record(tid, Op::DeqSome(x), t0, t1);
+                    }
+                    None => break,
+                }
+            }
+            rec
+        });
+        Recorder::merge(recorders)
+    };
+    if let Err(v) = check_queue_history(&history) {
+        panic!("MS-Queue not linearizable: {v}");
+    }
+}
+
+#[test]
+fn native_wf_queue_history_is_linearizable() {
+    let heap = Arc::new(NativeHeap::new(1 << 23));
+    let q = {
+        let mut ctx = heap.ctx(0);
+        baselines::WfQueue::new(&mut ctx, 4, true)
+    };
+    let history = {
+        let recorders = run_threads(&heap, 4, |ctx| {
+            let mut h = q.handle(ctx);
+            let tid = ctx.thread_id();
+            let mut rec = Recorder::new();
+            for i in 0..400u64 {
+                let v = ((tid as u64) << 32) | (i + 1);
+                let t0 = tick();
+                q.enqueue(ctx, &mut h, v);
+                rec.record(tid, Op::Enq(v), t0, tick());
+                if i % 2 == 0 {
+                    let t0 = tick();
+                    let r = q.dequeue(ctx, &mut h);
+                    let t1 = tick();
+                    match r {
+                        Some(x) => rec.record(tid, Op::DeqSome(x), t0, t1),
+                        None => rec.record(tid, Op::DeqNull, t0, t1),
+                    }
+                }
+            }
+            loop {
+                let t0 = tick();
+                match q.dequeue(ctx, &mut h) {
+                    Some(x) => {
+                        let t1 = tick();
+                        rec.record(tid, Op::DeqSome(x), t0, t1);
+                    }
+                    None => break,
+                }
+            }
+            rec
+        });
+        Recorder::merge(recorders)
+    };
+    if let Err(v) = check_queue_history(&history) {
+        panic!("WF-Queue not linearizable: {v}");
+    }
+}
+
+#[test]
+fn native_cc_queue_history_is_linearizable() {
+    let heap = Arc::new(NativeHeap::new(1 << 22));
+    let q = {
+        let mut ctx = heap.ctx(0);
+        baselines::CcQueue::new(&mut ctx)
+    };
+    let history = {
+        let recorders = run_threads(&heap, 3, |ctx| {
+            let mut h = q.handle(ctx);
+            let tid = ctx.thread_id();
+            let mut rec = Recorder::new();
+            for i in 0..300u64 {
+                let v = ((tid as u64) << 32) | (i + 1);
+                let t0 = tick();
+                q.enqueue(ctx, &mut h, v);
+                rec.record(tid, Op::Enq(v), t0, tick());
+                if i % 2 == 0 {
+                    let t0 = tick();
+                    let r = q.dequeue(ctx, &mut h);
+                    let t1 = tick();
+                    match r {
+                        Some(x) => rec.record(tid, Op::DeqSome(x), t0, t1),
+                        None => rec.record(tid, Op::DeqNull, t0, t1),
+                    }
+                }
+            }
+            loop {
+                let t0 = tick();
+                match q.dequeue(ctx, &mut h) {
+                    Some(x) => {
+                        let t1 = tick();
+                        rec.record(tid, Op::DeqSome(x), t0, t1);
+                    }
+                    None => break,
+                }
+            }
+            rec
+        });
+        Recorder::merge(recorders)
+    };
+    if let Err(v) = check_queue_history(&history) {
+        panic!("CC-Queue not linearizable: {v}");
+    }
+}
+
+#[test]
+fn native_bq_original_history_is_linearizable() {
+    let heap = Arc::new(NativeHeap::new(1 << 23));
+    let q = {
+        let mut ctx = heap.ctx(0);
+        baselines::new_bq_original(
+            &mut ctx,
+            sbq::QueueConfig {
+                max_threads: 4,
+                reclaim: true,
+                poison_on_free: false,
+            },
+        )
+    };
+    let history = {
+        let recorders = run_threads(&heap, 4, |ctx| {
+            let tid = ctx.thread_id();
+            let mut st = sbq::EnqueuerState::default();
+            let mut rec = Recorder::new();
+            for i in 0..300u64 {
+                let v = ((tid as u64) << 32) | (i + 1);
+                let t0 = tick();
+                q.enqueue(ctx, &mut st, v);
+                rec.record(tid, Op::Enq(v), t0, tick());
+                if i % 3 == 0 {
+                    let t0 = tick();
+                    let r = q.dequeue(ctx);
+                    let t1 = tick();
+                    match r {
+                        Some(x) => rec.record(tid, Op::DeqSome(x), t0, t1),
+                        None => rec.record(tid, Op::DeqNull, t0, t1),
+                    }
+                }
+            }
+            loop {
+                let t0 = tick();
+                match q.dequeue(ctx) {
+                    Some(x) => {
+                        let t1 = tick();
+                        rec.record(tid, Op::DeqSome(x), t0, t1);
+                    }
+                    None => break,
+                }
+            }
+            rec
+        });
+        Recorder::merge(recorders)
+    };
+    if let Err(v) = check_queue_history(&history) {
+        panic!("BQ-Original not linearizable: {v}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Linearizability of SBQ-HTM *on the simulated HTM substrate* — the
+//! configuration the paper actually evaluates. Histories are timestamped
+//! with the simulated global clock.
+
+use absmem::ThreadCtx;
+use coherence::{Machine, MachineConfig, Program, SimCtx};
+use linearize::{check_queue_history, Op, Recorder};
+use sbq::basket::SbqBasket;
+use sbq::modular::{EnqueuerState, ModularQueue};
+use sbq::txcas::{TxCas, TxCasParams};
+use sbq::QueueConfig;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+fn qcfg(threads: usize) -> QueueConfig {
+    QueueConfig {
+        max_threads: threads,
+        reclaim: true,
+        poison_on_free: true,
+    }
+}
+
+fn txp() -> TxCasParams {
+    TxCasParams {
+        // Shorter delay keeps the simulated test quick; semantics
+        // unaffected.
+        intra_delay: 120,
+        ..Default::default()
+    }
+}
+
+fn run_sbq_htm_history(threads: usize, per: u64, spurious: f64) -> Vec<linearize::Event> {
+    let mut cfg = MachineConfig::single_socket(threads);
+    cfg.check_invariants = false;
+    cfg.spurious_abort_prob = spurious;
+    let base = Arc::new(AtomicU64::new(0));
+    let recs: Arc<Mutex<Vec<Recorder>>> = Arc::new(Mutex::new(Vec::new()));
+    let programs: Vec<Program> = (0..threads)
+        .map(|_| {
+            let base = Arc::clone(&base);
+            let recs = Arc::clone(&recs);
+            Box::new(move |ctx: &mut SimCtx| {
+                let q: ModularQueue<SbqBasket, TxCas> = ModularQueue::from_base(
+                    base.load(SeqCst),
+                    SbqBasket::new(threads),
+                    TxCas::new(txp()),
+                    qcfg(threads),
+                );
+                let tid = ctx.thread_id();
+                let mut st = EnqueuerState::default();
+                let mut rec = Recorder::new();
+                for i in 0..per {
+                    let v = ((tid as u64) << 32) | (i + 1);
+                    let t0 = ctx.now();
+                    q.enqueue(ctx, &mut st, v);
+                    rec.record(tid, Op::Enq(v), t0, ctx.now());
+                    if i % 2 == 0 {
+                        let t0 = ctx.now();
+                        let r = q.dequeue(ctx);
+                        let t1 = ctx.now();
+                        match r {
+                            Some(x) => rec.record(tid, Op::DeqSome(x), t0, t1),
+                            None => rec.record(tid, Op::DeqNull, t0, t1),
+                        }
+                    }
+                }
+                loop {
+                    let t0 = ctx.now();
+                    match q.dequeue(ctx) {
+                        Some(x) => {
+                            let t1 = ctx.now();
+                            rec.record(tid, Op::DeqSome(x), t0, t1);
+                        }
+                        None => break,
+                    }
+                }
+                recs.lock().unwrap().push(rec);
+            }) as Program
+        })
+        .collect();
+    let b2 = Arc::clone(&base);
+    Machine::new(cfg).run(
+        Box::new(move |ctx| {
+            let q = ModularQueue::new(
+                ctx,
+                SbqBasket::new(threads),
+                TxCas::new(txp()),
+                qcfg(threads),
+            );
+            b2.store(q.base(), SeqCst);
+        }),
+        programs,
+    );
+    let recorders = std::mem::take(&mut *recs.lock().unwrap());
+    Recorder::merge(recorders)
+}
+
+#[test]
+fn sbq_htm_on_simulator_is_linearizable() {
+    let history = run_sbq_htm_history(4, 30, 0.0);
+    assert!(
+        history.iter().any(|e| matches!(e.op, Op::Enq(_))),
+        "history must contain operations"
+    );
+    if let Err(v) = check_queue_history(&history) {
+        panic!("SBQ-HTM (simulated) not linearizable: {v}");
+    }
+}
+
+#[test]
+fn sbq_htm_linearizable_under_spurious_aborts() {
+    // Spurious aborts exercise TxCAS's retry paths; the queue must stay
+    // linearizable.
+    let history = run_sbq_htm_history(3, 20, 0.3);
+    if let Err(v) = check_queue_history(&history) {
+        panic!("SBQ-HTM (spurious aborts) not linearizable: {v}");
+    }
+}
+
+#[test]
+fn sbq_htm_conserves_elements_on_simulator() {
+    let history = run_sbq_htm_history(4, 25, 0.0);
+    let enq: std::collections::HashSet<u64> = history
+        .iter()
+        .filter_map(|e| match e.op {
+            Op::Enq(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    let deq: Vec<u64> = history
+        .iter()
+        .filter_map(|e| match e.op {
+            Op::DeqSome(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    let deq_set: std::collections::HashSet<u64> = deq.iter().copied().collect();
+    assert_eq!(deq.len(), deq_set.len(), "no duplicates");
+    assert_eq!(deq_set, enq, "drained queue returns exactly what went in");
+}

@@ -1,0 +1,153 @@
+//! Memory-reclamation stress (paper Algorithm 7): with `poison_on_free`
+//! every freed node is scribbled, so a use-after-free would surface as
+//! wild values. These tests drive enough traffic that nodes retire and
+//! their addresses recycle, then assert full conservation.
+
+use absmem::native::{run_threads, NativeHeap};
+use absmem::{StandardCas, ThreadCtx};
+use sbq::modular::{EnqueuerState, ModularQueue, QueueConfig};
+use sbq::SbqBasket;
+use std::sync::Arc;
+
+fn stress(threads: usize, per: u64, reclaim: bool) -> Vec<u64> {
+    let heap = Arc::new(NativeHeap::new(1 << 24));
+    let q = {
+        let mut ctx = heap.ctx(0);
+        ModularQueue::new(
+            &mut ctx,
+            SbqBasket::new(threads),
+            StandardCas,
+            QueueConfig {
+                max_threads: threads,
+                reclaim,
+                poison_on_free: true,
+            },
+        )
+    };
+    let results = run_threads(&heap, threads, |ctx| {
+        let tid = ctx.thread_id() as u64;
+        let mut st = EnqueuerState::default();
+        let mut got = Vec::new();
+        for i in 0..per {
+            q.enqueue(ctx, &mut st, (tid << 32) | (i + 1));
+            if let Some(v) = q.dequeue(ctx) {
+                got.push(v);
+            }
+        }
+        while let Some(v) = q.dequeue(ctx) {
+            got.push(v);
+        }
+        got
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[test]
+fn reclaiming_queue_conserves_elements_under_stress() {
+    const THREADS: usize = 4;
+    const PER: u64 = 3_000;
+    let mut all = stress(THREADS, PER, true);
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(
+        all.len() as u64,
+        THREADS as u64 * PER,
+        "elements lost or duplicated under reclamation"
+    );
+    for &v in &all {
+        let tid = v >> 32;
+        let seq = v & 0xffff_ffff;
+        assert!(
+            tid < THREADS as u64 && seq >= 1 && seq <= PER,
+            "wild value {v:#x} (poison leak?)"
+        );
+    }
+}
+
+#[test]
+fn reclamation_bounds_memory_growth() {
+    // With reclamation the allocator frontier must grow far less than the
+    // total node count; without it, every node costs fresh address space.
+    let heap_r = Arc::new(NativeHeap::new(1 << 24));
+    let heap_n = Arc::new(NativeHeap::new(1 << 24));
+    let run = |heap: &Arc<NativeHeap>, reclaim: bool| {
+        let q = {
+            let mut ctx = heap.ctx(0);
+            ModularQueue::new(
+                &mut ctx,
+                SbqBasket::new(2),
+                StandardCas,
+                QueueConfig {
+                    max_threads: 2,
+                    reclaim,
+                    poison_on_free: true,
+                },
+            )
+        };
+        let mut ctx = heap.ctx(1);
+        let mut st = EnqueuerState::default();
+        for i in 0..20_000u64 {
+            q.enqueue(&mut ctx, &mut st, i + 1);
+            assert_eq!(q.dequeue(&mut ctx), Some(i + 1));
+        }
+    };
+    run(&heap_r, true);
+    run(&heap_n, false);
+    // The reclaiming run recycles nodes through the allocator's free
+    // lists; we can't read the pool from here, but the non-reclaiming run
+    // must not crash either — its heap is simply sized for the leak. The
+    // assertion of interest: the reclaiming run stays within a small
+    // fraction of the heap. (Allocation beyond capacity panics, so merely
+    // completing is the bound; tighten by using a small heap.)
+    let heap_small = Arc::new(NativeHeap::new(1 << 14)); // 16Ki words only
+    let q = {
+        let mut ctx = heap_small.ctx(0);
+        ModularQueue::new(
+            &mut ctx,
+            SbqBasket::new(2),
+            StandardCas,
+            QueueConfig {
+                max_threads: 2,
+                reclaim: true,
+                poison_on_free: true,
+            },
+        )
+    };
+    let mut ctx = heap_small.ctx(1);
+    let mut st = EnqueuerState::default();
+    for i in 0..50_000u64 {
+        q.enqueue(&mut ctx, &mut st, i + 1);
+        assert_eq!(q.dequeue(&mut ctx), Some(i + 1));
+    }
+    // 50k node lifecycles through a 16Ki-word heap: impossible without
+    // working reclamation.
+}
+
+#[test]
+fn ms_queue_reclamation_under_stress() {
+    const THREADS: usize = 4;
+    const PER: u64 = 3_000;
+    let heap = Arc::new(NativeHeap::new(1 << 23));
+    let q = {
+        let mut ctx = heap.ctx(0);
+        baselines::MsQueue::new(&mut ctx, THREADS, true)
+    };
+    let results = run_threads(&heap, THREADS, |ctx| {
+        let tid = ctx.thread_id() as u64;
+        let mut got = Vec::new();
+        for i in 0..PER {
+            q.enqueue(ctx, (tid << 32) | (i + 1));
+            if let Some(v) = q.dequeue(ctx) {
+                got.push(v);
+            }
+        }
+        while let Some(v) = q.dequeue(ctx) {
+            got.push(v);
+        }
+        got
+    });
+    let mut all: Vec<u64> = results.into_iter().flatten().collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len() as u64, THREADS as u64 * PER);
+}

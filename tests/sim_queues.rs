@@ -1,0 +1,256 @@
+//! All baseline queues running on the *simulator*, cross-checked for
+//! conservation and linearizability with simulated-clock timestamps.
+//! (The native-backend equivalents live in `linearizability_native.rs`;
+//! running the same algorithms on the coherence-accurate substrate also
+//! exercises the protocol under realistic queue traffic.)
+
+use absmem::ThreadCtx;
+use coherence::{Machine, MachineConfig, Program, SimCtx};
+use linearize::{check_queue_history, Op, Recorder};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Drives `threads` simulated threads over a queue built by `setup`,
+/// with per-thread enqueue/dequeue closures, and checks the merged
+/// history.
+fn check_on_sim<S, E, D>(name: &str, threads: usize, per: u64, setup: S, enq: E, deq: D)
+where
+    S: FnOnce(&mut SimCtx) -> u64 + Send + 'static,
+    E: Fn(&mut SimCtx, u64, u64) + Send + Sync + 'static,
+    D: Fn(&mut SimCtx, u64) -> Option<u64> + Send + Sync + 'static,
+{
+    let mut cfg = MachineConfig::single_socket(threads);
+    cfg.check_invariants = true;
+    let base = Arc::new(AtomicU64::new(0));
+    let recs: Arc<Mutex<Vec<Recorder>>> = Arc::new(Mutex::new(Vec::new()));
+    let enq = Arc::new(enq);
+    let deq = Arc::new(deq);
+    let programs: Vec<Program> = (0..threads)
+        .map(|_| {
+            let base = Arc::clone(&base);
+            let recs = Arc::clone(&recs);
+            let enq = Arc::clone(&enq);
+            let deq = Arc::clone(&deq);
+            Box::new(move |ctx: &mut SimCtx| {
+                let b = base.load(SeqCst);
+                let tid = ctx.thread_id();
+                let mut rec = Recorder::new();
+                for i in 0..per {
+                    let v = ((tid as u64) << 32) | (i + 1);
+                    let t0 = ctx.now();
+                    enq(ctx, b, v);
+                    rec.record(tid, Op::Enq(v), t0, ctx.now());
+                    if i % 2 == 1 {
+                        let t0 = ctx.now();
+                        let r = deq(ctx, b);
+                        let t1 = ctx.now();
+                        match r {
+                            Some(x) => rec.record(tid, Op::DeqSome(x), t0, t1),
+                            None => rec.record(tid, Op::DeqNull, t0, t1),
+                        }
+                    }
+                }
+                loop {
+                    let t0 = ctx.now();
+                    match deq(ctx, b) {
+                        Some(x) => {
+                            let t1 = ctx.now();
+                            rec.record(tid, Op::DeqSome(x), t0, t1);
+                        }
+                        None => break,
+                    }
+                }
+                recs.lock().unwrap().push(rec);
+            }) as Program
+        })
+        .collect();
+    let b2 = Arc::clone(&base);
+    Machine::new(cfg).run(
+        Box::new(move |ctx| {
+            let addr = setup(ctx);
+            b2.store(addr, SeqCst);
+        }),
+        programs,
+    );
+    let history = Recorder::merge(std::mem::take(&mut *recs.lock().unwrap()));
+    if let Err(v) = check_queue_history(&history) {
+        panic!("{name} on simulator not linearizable: {v}");
+    }
+    // Conservation: everything enqueued was dequeued exactly once (the
+    // drain loops empty the queue).
+    let enq_set: std::collections::HashSet<u64> = history
+        .iter()
+        .filter_map(|e| match e.op {
+            Op::Enq(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    let deq_vals: Vec<u64> = history
+        .iter()
+        .filter_map(|e| match e.op {
+            Op::DeqSome(v) => Some(v),
+            _ => None,
+        })
+        .collect();
+    let deq_set: std::collections::HashSet<u64> = deq_vals.iter().copied().collect();
+    assert_eq!(deq_vals.len(), deq_set.len(), "{name}: duplicate dequeue");
+    assert_eq!(deq_set, enq_set, "{name}: conservation");
+}
+
+#[test]
+fn ms_queue_on_simulator() {
+    const T: usize = 3;
+    check_on_sim(
+        "MS-Queue",
+        T,
+        20,
+        |ctx| baselines::MsQueue::new(ctx, T, true).base(),
+        |ctx, b, v| baselines::MsQueue::from_base(b, T, true).enqueue(ctx, v),
+        |ctx, b| baselines::MsQueue::from_base(b, T, true).dequeue(ctx),
+    );
+}
+
+#[test]
+fn wf_queue_on_simulator() {
+    const T: usize = 3;
+    check_on_sim(
+        "WF-Queue",
+        T,
+        20,
+        |ctx| baselines::WfQueue::new(ctx, T, true).base(),
+        |ctx, b, v| {
+            let q = baselines::WfQueue::from_base(b, T, true);
+            let mut h = q.handle(ctx);
+            q.enqueue(ctx, &mut h, v)
+        },
+        |ctx, b| {
+            let q = baselines::WfQueue::from_base(b, T, true);
+            let mut h = q.handle(ctx);
+            q.dequeue(ctx, &mut h)
+        },
+    );
+}
+
+#[test]
+fn cc_queue_on_simulator() {
+    const T: usize = 3;
+    check_on_sim(
+        "CC-Queue",
+        T,
+        15,
+        |ctx| baselines::CcQueue::new(ctx).base(),
+        |ctx, b, v| {
+            let q = baselines::CcQueue::from_base(b);
+            let mut h = q.handle(ctx);
+            q.enqueue(ctx, &mut h, v)
+        },
+        |ctx, b| {
+            let q = baselines::CcQueue::from_base(b);
+            let mut h = q.handle(ctx);
+            q.dequeue(ctx, &mut h)
+        },
+    );
+}
+
+#[test]
+fn bq_original_on_simulator() {
+    const T: usize = 3;
+    fn cfg() -> sbq::QueueConfig {
+        sbq::QueueConfig {
+            max_threads: T,
+            reclaim: true,
+            poison_on_free: false,
+        }
+    }
+    check_on_sim(
+        "BQ-Original",
+        T,
+        15,
+        |ctx| baselines::new_bq_original(ctx, cfg()).base(),
+        |ctx, b, v| {
+            let q: baselines::BqOriginal =
+                sbq::ModularQueue::from_base(b, baselines::LifoBasket, absmem::StandardCas, cfg());
+            let mut st = sbq::EnqueuerState::default();
+            q.enqueue(ctx, &mut st, v)
+        },
+        |ctx, b| {
+            let q: baselines::BqOriginal =
+                sbq::ModularQueue::from_base(b, baselines::LifoBasket, absmem::StandardCas, cfg());
+            q.dequeue(ctx)
+        },
+    );
+}
+
+#[test]
+fn ms_queue_hp_on_simulator() {
+    const T: usize = 3;
+    // The HP queue needs two published addresses; pack them in adjacent
+    // words of a descriptor block.
+    check_on_sim(
+        "MS-Queue-HP",
+        T,
+        15,
+        |ctx| {
+            let q = baselines::MsQueueHp::new(ctx, T);
+            let (qb, db) = q.parts();
+            let pack = ctx.alloc(2);
+            ctx.write(pack, qb);
+            ctx.write(pack + 1, db);
+            pack
+        },
+        |ctx, pack, v| {
+            let qb = ctx.read(pack);
+            let db = ctx.read(pack + 1);
+            baselines::MsQueueHp::from_parts(qb, db, T).enqueue(ctx, v)
+        },
+        |ctx, pack| {
+            let qb = ctx.read(pack);
+            let db = ctx.read(pack + 1);
+            let q = baselines::MsQueueHp::from_parts(qb, db, T);
+            // Per-call thread state: retirement happens, freeing may wait
+            // for quiesce; leak-at-exit is fine for the test.
+            let mut st = q.thread_state(T);
+            q.dequeue(ctx, &mut st)
+        },
+    );
+}
+
+#[test]
+fn sbq_striped_on_simulator() {
+    const T: usize = 3;
+    fn cfg() -> sbq::QueueConfig {
+        sbq::QueueConfig {
+            max_threads: T,
+            reclaim: true,
+            poison_on_free: false,
+        }
+    }
+    check_on_sim(
+        "SBQ-Striped",
+        T,
+        15,
+        |ctx| {
+            sbq::ModularQueue::new(ctx, sbq::StripedBasket::new(T), absmem::StandardCas, cfg())
+                .base()
+        },
+        |ctx, b, v| {
+            let q = sbq::ModularQueue::from_base(
+                b,
+                sbq::StripedBasket::new(T),
+                absmem::StandardCas,
+                cfg(),
+            );
+            let mut st = sbq::EnqueuerState::default();
+            q.enqueue(ctx, &mut st, v)
+        },
+        |ctx, b| {
+            let q = sbq::ModularQueue::from_base(
+                b,
+                sbq::StripedBasket::new(T),
+                absmem::StandardCas,
+                cfg(),
+            );
+            q.dequeue(ctx)
+        },
+    );
+}
