@@ -137,17 +137,16 @@ pub fn run_threads<R: Send>(
     nthreads: usize,
     f: impl Fn(&mut NativeCtx) -> R + Sync,
 ) -> Vec<R> {
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = (0..nthreads)
             .map(|tid| {
                 let mut ctx = heap.ctx(tid);
                 let f = &f;
-                s.spawn(move |_| f(&mut ctx))
+                s.spawn(move || f(&mut ctx))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     })
-    .unwrap()
 }
 
 #[cfg(test)]

@@ -1,53 +1,59 @@
-//! Criterion microbenchmarks of the *native* typed queue against simple
-//! reference structures — the sanity check that the production `Sbq<T>`
-//! is in the right performance class on real atomics (absolute multicore
+//! Microbenchmarks of the *native* typed queue against a simple reference
+//! structure — the sanity check that the production `Sbq<T>` is in the
+//! right performance class on real atomics (absolute multicore
 //! scalability is the simulator's job; this box may have few cores).
+//!
+//! Plain `harness = false` timing loops: the workspace carries no
+//! external bench framework, and a best-of-runs wall-clock number is all
+//! this comparison needs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sbq::native::Sbq;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-fn bench_single_thread(c: &mut Criterion) {
-    let mut g = c.benchmark_group("single_thread");
-    g.sample_size(20);
+/// Times `iters` runs of `f` and reports the best ns/iter over 5 passes
+/// (the usual minimum-of-N noise rejection).
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f(); // warm-up
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per);
+    }
+    println!("{name:<36} {best:>10.1} ns/iter");
+}
 
-    g.bench_function("sbq_enq_deq", |b| {
+fn main() {
+    println!("# native queue microbenchmarks (best of 5 runs)");
+
+    {
         let q = Arc::new(Sbq::<u64>::new(2));
         let mut h = q.handle();
-        b.iter(|| {
+        bench("single_thread/sbq_enq_deq", 100_000, move || {
             h.enqueue(1);
             std::hint::black_box(h.dequeue());
         });
-    });
+    }
 
-    g.bench_function("mutex_vecdeque_enq_deq", |b| {
+    {
         let q: Mutex<VecDeque<u64>> = Mutex::new(VecDeque::new());
-        b.iter(|| {
+        bench("single_thread/mutex_vecdeque_enq_deq", 100_000, move || {
             q.lock().unwrap().push_back(1);
             std::hint::black_box(q.lock().unwrap().pop_front());
         });
-    });
+    }
 
-    g.bench_function("crossbeam_segqueue_enq_deq", |b| {
-        let q = crossbeam::queue::SegQueue::new();
-        b.iter(|| {
-            q.push(1u64);
-            std::hint::black_box(q.pop());
-        });
-    });
-
-    g.finish();
-}
-
-fn bench_burst(c: &mut Criterion) {
-    let mut g = c.benchmark_group("burst_1000");
-    g.sample_size(20);
-
-    g.bench_function("sbq", |b| {
+    {
         let q = Arc::new(Sbq::<u64>::new(2));
         let mut h = q.handle();
-        b.iter(|| {
+        bench("burst_1000/sbq", 1_000, move || {
             for i in 1..=1000u64 {
                 h.enqueue(i);
             }
@@ -55,10 +61,5 @@ fn bench_burst(c: &mut Criterion) {
                 std::hint::black_box(h.dequeue());
             }
         });
-    });
-
-    g.finish();
+    }
 }
-
-criterion_group!(benches, bench_single_thread, bench_burst);
-criterion_main!(benches);

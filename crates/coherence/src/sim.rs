@@ -34,8 +34,7 @@ use crate::config::MachineConfig;
 use crate::msg::{Msg, Node};
 use crate::stats::{Stats, TraceEvent};
 use crate::txn::{self};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use simrng::SimRng;
 use std::cmp::Ordering;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
 
@@ -368,7 +367,7 @@ pub struct Sim {
     pub resumes: Vec<Resume>,
     pub stats: Stats,
     pub trace: Vec<TraceEvent>,
-    rng: SmallRng,
+    rng: SimRng,
     check_countdown: u32,
     /// Earliest time the directory can accept its next request.
     dir_free_at: u64,
@@ -382,7 +381,7 @@ impl Sim {
         let ncaches = cfg.cores + 1;
         let caches = (0..ncaches).map(|c| Cache::new(cfg.socket_of(c))).collect();
         Sim {
-            rng: SmallRng::seed_from_u64(cfg.seed),
+            rng: SimRng::seed_from_u64(cfg.seed),
             clock: 0,
             seq: 0,
             events: BinaryHeap::new(),
@@ -569,7 +568,7 @@ impl Sim {
                 let jitter = if self.cfg.delay_jitter_pct > 0 && cycles > 4 {
                     let span = cycles * self.cfg.delay_jitter_pct / 100;
                     if span > 0 {
-                        self.rng.gen_range(0..=span)
+                        self.rng.gen_range_inclusive(0, span)
                     } else {
                         0
                     }

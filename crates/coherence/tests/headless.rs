@@ -75,8 +75,6 @@ fn aborted_txn_write_then_immediate_reread() {
 /// shape that deadlocked a one-outstanding-request cache model.
 #[test]
 fn txcas_retry_storm_terminates() {
-    let mut cfg = MachineConfig::single_socket(6);
-    cfg.check_invariants = false;
     let shared = Arc::new(AtomicU64::new(0));
     let done = Arc::new(AtomicU64::new(0));
     let programs: Vec<Program> = (0..6)

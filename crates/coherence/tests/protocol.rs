@@ -216,8 +216,7 @@ fn nested_abort_sets_nested_bit() {
     let (_, vals) = run_n(cfg, word_setup, |ctx, _a| {
         ctx.tx_begin().unwrap();
         ctx.tx_begin().unwrap();
-        let st = ctx.tx_abort(3).status;
-        st
+        ctx.tx_abort(3).status
     });
     assert!(coherence::txn::is_nested(vals[0]));
     assert!(coherence::txn::is_explicit(vals[0]));

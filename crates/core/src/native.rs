@@ -200,11 +200,11 @@ mod tests {
         const PER: u64 = 2_000;
         let q = Arc::new(Sbq::<u64>::new(PRODUCERS + CONSUMERS));
         let done = Arc::new(AtomicUsize::new(0));
-        let got: Vec<Vec<u64>> = crossbeam::thread::scope(|s| {
+        let got: Vec<Vec<u64>> = std::thread::scope(|s| {
             for p in 0..PRODUCERS as u64 {
                 let mut h = q.handle();
                 let done = Arc::clone(&done);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..PER {
                         h.enqueue(p * PER + i + 1);
                     }
@@ -215,7 +215,7 @@ mod tests {
                 .map(|_| {
                     let mut h = q.handle();
                     let done = Arc::clone(&done);
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut got = Vec::new();
                         loop {
                             match h.dequeue() {
@@ -233,8 +233,7 @@ mod tests {
                 })
                 .collect();
             consumers.into_iter().map(|c| c.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
         let mut all: Vec<u64> = got.into_iter().flatten().collect();
         all.sort_unstable();
         let expect: Vec<u64> = (1..=PRODUCERS as u64 * PER).collect();
@@ -247,13 +246,13 @@ mod tests {
         let q = Arc::new(Sbq::<u64>::new(2));
         let mut prod = q.handle();
         let mut cons = q.handle();
-        crossbeam::thread::scope(|s| {
-            s.spawn(move |_| {
+        std::thread::scope(|s| {
+            s.spawn(move || {
                 for i in 1..=5_000u64 {
                     prod.enqueue(i);
                 }
             });
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut expect = 1u64;
                 while expect <= 5_000 {
                     if let Some(v) = cons.dequeue() {
@@ -264,7 +263,6 @@ mod tests {
                     }
                 }
             });
-        })
-        .unwrap();
+        });
     }
 }

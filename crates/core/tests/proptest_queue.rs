@@ -1,16 +1,17 @@
 //! Property-based tests of the SBQ building blocks against executable
-//! reference models.
+//! reference models, driven by deterministic `simrng` scripts (the
+//! workspace carries no external property-testing dependency).
 
 use absmem::native::NativeHeap;
 use absmem::{StandardCas, ThreadCtx};
-use proptest::prelude::*;
 use sbq::basket::{Basket, SbqBasket, NULL_ELEM};
 use sbq::modular::{EnqueuerState, ModularQueue, QueueConfig};
+use simrng::SimRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Sequential queue operations driven from a proptest-generated script:
-/// the modular SBQ must match a VecDeque exactly.
+/// Sequential queue operations driven from a random script: the modular
+/// SBQ must match a VecDeque exactly.
 fn check_against_model(ops: &[bool], basket_cap: usize) {
     let heap = Arc::new(NativeHeap::new(1 << 22));
     let mut ctx = heap.ctx(0);
@@ -43,27 +44,44 @@ fn check_against_model(ops: &[bool], basket_cap: usize) {
     assert_eq!(q.dequeue(&mut ctx), None);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Random enqueue/dequeue script of length `1..max_len`.
+fn random_ops(rng: &mut SimRng, max_len: usize) -> Vec<bool> {
+    let n = 1 + rng.gen_usize(max_len - 1);
+    (0..n).map(|_| rng.gen_bool(0.5)).collect()
+}
 
-    #[test]
-    fn sbq_matches_fifo_model(ops in proptest::collection::vec(proptest::bool::ANY, 1..400)) {
+#[test]
+fn sbq_matches_fifo_model() {
+    let mut rng = SimRng::seed_from_u64(0xf1f0);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 400);
         check_against_model(&ops, 4);
     }
+}
 
-    #[test]
-    fn sbq_matches_fifo_model_tiny_basket(ops in proptest::collection::vec(proptest::bool::ANY, 1..200)) {
+#[test]
+fn sbq_matches_fifo_model_tiny_basket() {
+    let mut rng = SimRng::seed_from_u64(0xf1f1);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 200);
         check_against_model(&ops, 1);
     }
+}
 
-    /// Basket invariant: a sequential mix of inserts and extracts never
-    /// loses or duplicates an element, and once empty is indicated no
-    /// extract succeeds (the §5.3.2 property).
-    #[test]
-    fn basket_conserves_and_empty_is_sticky(
-        script in proptest::collection::vec((0usize..4, proptest::bool::ANY), 1..60)
-    ) {
+/// Basket invariant: a sequential mix of inserts and extracts never loses
+/// or duplicates an element, and once empty is indicated no extract
+/// succeeds (the §5.3.2 property).
+#[test]
+fn basket_conserves_and_empty_is_sticky() {
+    let mut rng = SimRng::seed_from_u64(0xba5e);
+    for case in 0..64u32 {
         let cap = 4;
+        let script: Vec<(usize, bool)> = {
+            let n = 1 + rng.gen_usize(59);
+            (0..n)
+                .map(|_| (rng.gen_usize(4), rng.gen_bool(0.5)))
+                .collect()
+        };
         let b = SbqBasket::new(cap);
         let heap = Arc::new(NativeHeap::new(1 << 16));
         let mut ctx = heap.ctx(0);
@@ -85,7 +103,10 @@ proptest! {
             } else {
                 let e = b.extract(&mut ctx, base, id);
                 if e != NULL_ELEM {
-                    prop_assert!(!empty_seen, "extract succeeded after empty indication");
+                    assert!(
+                        !empty_seen,
+                        "case {case}: extract succeeded after empty indication"
+                    );
                     extracted.push(e);
                 } else {
                     empty_seen = true;
@@ -98,17 +119,22 @@ proptest! {
         // Drain.
         loop {
             let e = b.extract(&mut ctx, base, 0);
-            if e == NULL_ELEM { break; }
-            prop_assert!(!empty_seen, "extract succeeded after empty indication");
+            if e == NULL_ELEM {
+                break;
+            }
+            assert!(
+                !empty_seen,
+                "case {case}: extract succeeded after empty indication"
+            );
             extracted.push(e);
         }
         // No duplicates, and everything extracted was inserted.
         let mut ex = extracted.clone();
         ex.sort_unstable();
         ex.dedup();
-        prop_assert_eq!(ex.len(), extracted.len());
+        assert_eq!(ex.len(), extracted.len(), "case {case}: duplicate element");
         for e in &extracted {
-            prop_assert!(inserted.contains(e));
+            assert!(inserted.contains(e), "case {case}: phantom element {e}");
         }
     }
 }

@@ -23,9 +23,9 @@
 //! assert_eq!(a.alloc(4), node); // served from the local cache
 //! ```
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Number of size classes. Class `c` holds blocks of `1 << c` words, so the
 /// largest supported allocation is `1 << (NUM_CLASSES - 1)` words (32 Mi
@@ -132,7 +132,7 @@ impl WordPool {
     fn refill(&self, class: usize, out: &mut Vec<u64>) {
         self.stats.refills.fetch_add(1, Ordering::Relaxed);
         {
-            let mut g = self.global[class].lock();
+            let mut g = self.global[class].lock().unwrap();
             let take = REFILL_BATCH.min(g.len());
             if take > 0 {
                 let at = g.len() - take;
@@ -153,7 +153,7 @@ impl WordPool {
     fn spill(&self, class: usize, local: &mut Vec<u64>) {
         self.stats.spills.fetch_add(1, Ordering::Relaxed);
         let keep = LOCAL_CAP / 2;
-        let mut g = self.global[class].lock();
+        let mut g = self.global[class].lock().unwrap();
         g.extend(local.drain(keep..));
     }
 }
@@ -213,7 +213,7 @@ impl Drop for ThreadCache {
         // leak address space.
         for (class, list) in self.local.iter_mut().enumerate() {
             if !list.is_empty() {
-                let mut g = self.pool.global[class].lock();
+                let mut g = self.pool.global[class].lock().unwrap();
                 g.append(list);
             }
         }
@@ -301,11 +301,11 @@ mod tests {
     #[test]
     fn concurrent_alloc_free_yields_disjoint_live_blocks() {
         let p = pool();
-        let per_thread: Vec<Vec<u64>> = crossbeam::thread::scope(|s| {
+        let per_thread: Vec<Vec<u64>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     let p = Arc::clone(&p);
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut c = p.thread_cache();
                         let mut live = Vec::new();
                         for i in 0..2000usize {
@@ -322,8 +322,7 @@ mod tests {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
         let mut seen = HashSet::new();
         for list in per_thread {
             for a in list {
@@ -358,27 +357,35 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::SimRng;
 
-    proptest! {
-        /// Any interleaving of allocs and frees keeps live blocks disjoint
-        /// and never yields NULL.
-        #[test]
-        fn live_blocks_always_disjoint(ops in proptest::collection::vec((1usize..33, proptest::bool::ANY), 1..300)) {
+    /// Any interleaving of allocs and frees keeps live blocks disjoint and
+    /// never yields NULL. 256 deterministic random scripts of up to 300
+    /// operations each (sizes 1..33, free with probability one half).
+    #[test]
+    fn live_blocks_always_disjoint() {
+        for case in 0..256u64 {
+            let mut rng = SimRng::seed_from_u64(0xa110c ^ case);
+            let nops = 1 + rng.gen_usize(300);
             let p = Arc::new(WordPool::new(8));
             let mut c = p.thread_cache();
             let mut live: Vec<(u64, usize)> = Vec::new();
-            for (sz, do_free) in ops {
+            for _ in 0..nops {
+                let sz = 1 + rng.gen_usize(32);
+                let do_free = rng.gen_bool(0.5);
                 if do_free && !live.is_empty() {
                     let (a, s) = live.swap_remove(live.len() / 2);
                     c.free(a, s);
                 } else {
                     let a = c.alloc(sz);
-                    prop_assert_ne!(a, 0);
+                    assert_ne!(a, 0, "case {case}: alloc returned NULL");
                     let end = a + WordPool::class_words(WordPool::class_of(sz));
                     for &(la, ls) in &live {
                         let lend = la + WordPool::class_words(WordPool::class_of(ls));
-                        prop_assert!(end <= la || a >= lend);
+                        assert!(
+                            end <= la || a >= lend,
+                            "case {case}: block {a:#x}+{sz} overlaps {la:#x}+{ls}"
+                        );
                     }
                     live.push((a, sz));
                 }

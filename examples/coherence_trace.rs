@@ -60,8 +60,8 @@ fn run(htm: bool) {
         }
     );
     println!(
-        "{:<8}{:<8}{:<6}{:<6}{:<12}{}",
-        "sent", "recv", "src", "dst", "msg", "line"
+        "{:<8}{:<8}{:<6}{:<6}{:<12}line",
+        "sent", "recv", "src", "dst", "msg"
     );
     for e in &report.trace {
         match e {

@@ -35,12 +35,12 @@ fn main() {
     let stage1_done = Arc::new(AtomicUsize::new(0));
     let source_done = Arc::new(AtomicUsize::new(0));
 
-    let (total_words, total_items) = crossbeam::thread::scope(|s| {
+    let (total_words, total_items) = std::thread::scope(|s| {
         // Source: feeds raw records.
         {
             let mut h = raw.handle();
             let source_done = Arc::clone(&source_done);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for id in 0..RECORDS {
                     h.enqueue(Record {
                         id,
@@ -56,7 +56,7 @@ fn main() {
             let mut hout = parsed.handle();
             let source_done = Arc::clone(&source_done);
             let stage1_done = Arc::clone(&stage1_done);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 loop {
                     match hin.dequeue() {
                         Some(rec) => hout.enqueue(Parsed {
@@ -79,7 +79,7 @@ fn main() {
             .map(|_| {
                 let mut h = parsed.handle();
                 let stage1_done = Arc::clone(&stage1_done);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let (mut words, mut items) = (0usize, 0usize);
                     loop {
                         match h.dequeue() {
@@ -103,8 +103,7 @@ fn main() {
         aggs.into_iter()
             .map(|a| a.join().unwrap())
             .fold((0, 0), |(w, i), (dw, di)| (w + dw, i + di))
-    })
-    .unwrap();
+    });
 
     println!("pipeline processed {total_items} records, {total_words} words total");
     assert_eq!(total_items as u64, RECORDS);

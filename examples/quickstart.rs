@@ -21,11 +21,11 @@ fn main() {
     let queue = Arc::new(Sbq::<u64>::new(PRODUCERS + CONSUMERS));
     let producers_done = Arc::new(AtomicUsize::new(0));
 
-    let consumed: Vec<usize> = crossbeam::thread::scope(|s| {
+    let consumed: Vec<usize> = std::thread::scope(|s| {
         for p in 0..PRODUCERS as u64 {
             let mut h = queue.handle();
             let done = Arc::clone(&producers_done);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..PER_PRODUCER {
                     h.enqueue(p * PER_PRODUCER + i);
                 }
@@ -36,7 +36,7 @@ fn main() {
             .map(|_| {
                 let mut h = queue.handle();
                 let done = Arc::clone(&producers_done);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut n = 0usize;
                     loop {
                         match h.dequeue() {
@@ -54,8 +54,7 @@ fn main() {
             })
             .collect();
         consumers.into_iter().map(|c| c.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
 
     let total: usize = consumed.iter().sum();
     println!("consumed {total} elements across {CONSUMERS} consumers (split: {consumed:?})");

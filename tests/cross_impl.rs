@@ -3,7 +3,7 @@
 //! input sequences.
 
 use absmem::native::NativeHeap;
-use absmem::{StandardCas, ThreadCtx};
+use absmem::StandardCas;
 use baselines::MsQueue;
 use sbq::modular::{EnqueuerState, ModularQueue, QueueConfig};
 use sbq::{SbqBasket, SingleBasket};

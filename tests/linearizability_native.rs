@@ -8,7 +8,7 @@
 
 use absmem::native::{run_threads, NativeHeap};
 use absmem::ThreadCtx;
-use linearize::{check_queue_history, Event, Op, Recorder};
+use linearize::{check_queue_history, Op, Recorder};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 

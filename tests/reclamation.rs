@@ -58,7 +58,7 @@ fn reclaiming_queue_conserves_elements_under_stress() {
         let tid = v >> 32;
         let seq = v & 0xffff_ffff;
         assert!(
-            tid < THREADS as u64 && seq >= 1 && seq <= PER,
+            tid < THREADS as u64 && (1..=PER).contains(&seq),
             "wild value {v:#x} (poison leak?)"
         );
     }
