@@ -17,19 +17,87 @@
 //! ```
 //!
 //! Example: `simctl sbq-htm producer 44 ops=300 delay=900`
+//!
+//! `simctl bench [key=value ...]` instead runs the fixed wall-clock
+//! scheduler benchmark and writes `BENCH_sim.json` (see
+//! [`bench::wallbench`]). Keys:
+//!
+//! ```text
+//! scale    workload size multiplier        default 1
+//! reps     runs per point (best kept)      default 3
+//! label    scheduler label in the JSON     default "current"
+//! out      JSON output path                default BENCH_sim.json
+//! tsv-out  also write the TSV capture here (optional)
+//! baseline prior TSV capture to compare against (optional)
+//! ```
 
 use bench::simq::{QueueKind, QueueParams};
 use bench::workload::{paper_workload, run_workload, WorkloadKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]"
+        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH]"
     );
     std::process::exit(2);
 }
 
+fn bench_main(args: &[String]) {
+    let mut scale = 1u64;
+    let mut reps = 3u32;
+    let mut label = "current".to_string();
+    let mut out = "BENCH_sim.json".to_string();
+    let mut tsv_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    for kv in args {
+        let Some((k, v)) = kv.split_once('=') else {
+            eprintln!("expected key=value, got `{kv}`");
+            usage();
+        };
+        match k {
+            "scale" => scale = v.parse().unwrap_or_else(|_| usage()),
+            "reps" => reps = v.parse().unwrap_or_else(|_| usage()),
+            "label" => label = v.to_string(),
+            "out" => out = v.to_string(),
+            "tsv-out" => tsv_out = Some(v.to_string()),
+            "baseline" => baseline = Some(v.to_string()),
+            other => {
+                eprintln!("unknown key `{other}`");
+                usage();
+            }
+        }
+    }
+    // Validate the baseline before spending time on the runs.
+    let base_points = baseline.map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        bench::wallbench::from_tsv(&text).unwrap_or_else(|| {
+            eprintln!("malformed baseline {path}");
+            std::process::exit(2);
+        })
+    });
+    let points = bench::wallbench::run_points(scale, reps);
+    print!("{}", bench::wallbench::to_tsv(&points));
+    if let Some(path) = tsv_out {
+        std::fs::write(&path, bench::wallbench::to_tsv(&points))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+    let json = bench::wallbench::to_json(
+        &label,
+        &points,
+        base_points.as_deref().map(|b| ("mpsc-channel", b)),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        bench_main(&args[1..]);
+        return;
+    }
     if args.len() < 3 {
         usage();
     }

@@ -19,6 +19,7 @@
 pub mod fig;
 pub mod simq;
 pub mod trace_render;
+pub mod wallbench;
 pub mod workload;
 
 /// Reads a scale knob from the environment.

@@ -1,0 +1,215 @@
+//! Wall-clock scheduler benchmark: how many *simulated* operations per
+//! second of host time the machine sustains.
+//!
+//! The simulator's figures measure simulated time; this module measures
+//! the cost of producing it. Every program-level operation crosses the
+//! program-thread/scheduler boundary once, so ops/sec of wall time is a
+//! direct read on scheduler handshake plus hot-loop overhead.
+//!
+//! Two fixed workload shapes, chosen to bracket the scheduler's load:
+//!
+//! * `fig1_faa` — every thread FAAs one shared word (Figure 1's FAA
+//!   curve). Almost zero per-op simulation work, so the handshake
+//!   dominates: this is the scheduler stress test.
+//! * `fig5_sbq_producer` — SBQ-HTM producers fill an empty queue
+//!   (Figure 5's headline series). Realistic mix of reads, FAAs, and
+//!   HTM transactions: this is the end-to-end number.
+//!
+//! `simctl bench` drives this and writes `BENCH_sim.json`; pass
+//! `baseline=FILE.tsv` (a previous `tsv-out=` capture) to embed a
+//! before/after comparison with per-point speedups.
+
+use crate::simq::QueueKind;
+use crate::workload::{paper_workload, run_workload, WorkloadKind};
+use absmem::ThreadCtx;
+use coherence::{Machine, MachineConfig, Program, SimCtx};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured workload shape.
+#[derive(Debug, Clone)]
+pub struct WallPoint {
+    pub name: String,
+    pub threads: usize,
+    /// Program-level operations in the measured run.
+    pub total_ops: u64,
+    /// Best-of-reps wall-clock duration, nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated operations per second of host time.
+    pub ops_per_sec: f64,
+}
+
+impl WallPoint {
+    fn new(name: &str, threads: usize, total_ops: u64, wall_ns: u64) -> Self {
+        WallPoint {
+            name: name.to_string(),
+            threads,
+            total_ops,
+            wall_ns,
+            ops_per_sec: total_ops as f64 / (wall_ns.max(1) as f64 / 1e9),
+        }
+    }
+}
+
+/// Figure-1-shaped scheduler stress: `threads` cores FAA one shared word
+/// `ops` times each. Jitter and invariant checks are off so the run is
+/// deterministic and the handshake dominates.
+fn faa_hammer(threads: usize, ops: u64) {
+    let mut cfg = MachineConfig::single_socket(threads);
+    cfg.check_invariants = false;
+    cfg.delay_jitter_pct = 0;
+    let shared = Arc::new(AtomicU64::new(0));
+    let programs: Vec<Program> = (0..threads)
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            Box::new(move |ctx: &mut SimCtx| {
+                let a = shared.load(SeqCst);
+                ctx.barrier();
+                for _ in 0..ops {
+                    ctx.faa(a, 1);
+                }
+            }) as Program
+        })
+        .collect();
+    let s2 = Arc::clone(&shared);
+    Machine::new(cfg).run(
+        Box::new(move |ctx| {
+            let a = ctx.alloc(1);
+            ctx.write(a, 0);
+            s2.store(a, SeqCst);
+        }),
+        programs,
+    );
+}
+
+fn best_of<F: FnMut()>(reps: u32, mut f: F) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+/// Runs both fixed shapes, `reps` times each, keeping the best wall time.
+pub fn run_points(scale: u64, reps: u32) -> Vec<WallPoint> {
+    let mut out = Vec::new();
+
+    let (threads, ops) = (8usize, 2_500 * scale);
+    let wall = best_of(reps, || faa_hammer(threads, ops));
+    out.push(WallPoint::new(
+        "fig1_faa",
+        threads,
+        threads as u64 * ops,
+        wall,
+    ));
+
+    let (threads, ops) = (8usize, 400 * scale);
+    let mut w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
+    w.machine.delay_jitter_pct = 0;
+    let wall = best_of(reps, || {
+        run_workload(QueueKind::SbqHtm, &w);
+    });
+    out.push(WallPoint::new(
+        "fig5_sbq_producer",
+        threads,
+        threads as u64 * ops,
+        wall,
+    ));
+
+    out
+}
+
+/// TSV rendering — also the `baseline=` interchange format.
+pub fn to_tsv(points: &[WallPoint]) -> String {
+    let mut s = String::from("name\tthreads\ttotal_ops\twall_ns\tops_per_sec\n");
+    for p in points {
+        s.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{:.0}\n",
+            p.name, p.threads, p.total_ops, p.wall_ns, p.ops_per_sec
+        ));
+    }
+    s
+}
+
+/// Parses a `to_tsv` capture back into points (header line skipped).
+pub fn from_tsv(s: &str) -> Option<Vec<WallPoint>> {
+    let mut out = Vec::new();
+    for line in s.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() < 4 {
+            return None;
+        }
+        out.push(WallPoint::new(
+            f[0],
+            f[1].parse().ok()?,
+            f[2].parse().ok()?,
+            f[3].parse().ok()?,
+        ));
+    }
+    Some(out)
+}
+
+fn json_points(points: &[WallPoint], indent: &str) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{indent}{{\"name\": \"{}\", \"threads\": {}, \"total_ops\": {}, \
+                 \"wall_ns\": {}, \"sim_ops_per_sec\": {:.0}}}",
+                p.name, p.threads, p.total_ops, p.wall_ns, p.ops_per_sec
+            )
+        })
+        .collect();
+    rows.join(",\n")
+}
+
+/// Renders the `BENCH_sim.json` document. `baseline`, when present, is a
+/// prior capture (typically the pre-rewrite scheduler) and per-point
+/// speedups are included.
+pub fn to_json(
+    label: &str,
+    points: &[WallPoint],
+    baseline: Option<(&str, &[WallPoint])>,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"sbq-wallbench-v1\",\n");
+    s.push_str(&format!("  \"scheduler\": \"{label}\",\n"));
+    s.push_str("  \"points\": [\n");
+    s.push_str(&json_points(points, "    "));
+    s.push_str("\n  ]");
+    if let Some((blabel, bpoints)) = baseline {
+        s.push_str(",\n  \"baseline\": {\n");
+        s.push_str(&format!("    \"scheduler\": \"{blabel}\",\n"));
+        s.push_str("    \"points\": [\n");
+        s.push_str(&json_points(bpoints, "      "));
+        s.push_str("\n    ]\n  },\n  \"speedup\": {");
+        let mut first = true;
+        let mut min_speedup = f64::INFINITY;
+        for p in points {
+            if let Some(b) = bpoints.iter().find(|b| b.name == p.name) {
+                let sp = p.ops_per_sec / b.ops_per_sec.max(1.0);
+                min_speedup = min_speedup.min(sp);
+                if !first {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{}\": {sp:.2}", p.name));
+                first = false;
+            }
+        }
+        if min_speedup.is_finite() {
+            if !first {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"min\": {min_speedup:.2}"));
+        }
+        s.push('}');
+    }
+    s.push_str("\n}\n");
+    s
+}

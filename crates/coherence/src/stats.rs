@@ -41,6 +41,11 @@ impl Stats {
         self.msgs.get(kind).copied().unwrap_or(0)
     }
 
+    /// Total operations of the given kind ("read", "write", "cas", ...).
+    pub fn op(&self, kind: &str) -> u64 {
+        self.ops.get(kind).copied().unwrap_or(0)
+    }
+
     /// Total aborts of all causes.
     pub fn tx_aborts(&self) -> u64 {
         self.tx_aborts_conflict + self.tx_aborts_explicit + self.tx_aborts_spurious

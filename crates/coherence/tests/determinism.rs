@@ -1,0 +1,191 @@
+//! Determinism regression: a fixed workload must produce bit-identical
+//! `RunReport`s on every run, and identical to the golden fingerprint
+//! captured on the original mpsc-channel scheduler — so scheduler and
+//! hot-loop rewrites provably preserve simulated results.
+//!
+//! The fixture disables delay jitter and spurious aborts (the only RNG
+//! consumers), so any divergence is a scheduler-ordering bug, not noise.
+
+use absmem::ThreadCtx;
+use coherence::{Machine, MachineConfig, Program, RunReport, SimCtx};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+const MSG_KINDS: &[&str] = &[
+    "GetS",
+    "GetM",
+    "Data",
+    "Inv",
+    "InvAck",
+    "Fwd-GetS",
+    "Fwd-GetM",
+    "DataOwner",
+    "WbData",
+];
+const OP_KINDS: &[&str] = &[
+    "read", "write", "cas", "faa", "swap", "delay", "xbegin", "xend", "xabort",
+];
+
+/// Flattens the observable run result into one comparable string.
+fn fingerprint(r: &RunReport) -> String {
+    let mut s = format!("end={} core_end={:?}", r.end_time, r.core_end);
+    s.push_str(" msgs=[");
+    for k in MSG_KINDS {
+        s.push_str(&format!("{}:{} ", k, r.stats.msg(k)));
+    }
+    s.push_str("] ops=[");
+    for k in OP_KINDS {
+        s.push_str(&format!("{}:{} ", k, r.stats.op(k)));
+    }
+    s.push_str(&format!(
+        "] commits={} conflicts={} explicit={} spurious={} tripped={} stalls={} fix_stalls={}",
+        r.stats.tx_commits,
+        r.stats.tx_aborts_conflict,
+        r.stats.tx_aborts_explicit,
+        r.stats.tx_aborts_spurious,
+        r.stats.tripped_writers,
+        r.stats.stalls,
+        r.stats.fix_stalls
+    ));
+    s
+}
+
+/// A fixed 4-core workload covering the protocol broadside: contended
+/// FAA and CAS, shared reads, exclusive writes, swap, delays, an HTM
+/// transaction with retry, allocation/free, and a mid-run barrier.
+fn fixed_workload(cores: usize, dual_socket: bool) -> RunReport {
+    let mut cfg = if dual_socket {
+        MachineConfig::dual_socket(cores.div_ceil(2))
+    } else {
+        MachineConfig::single_socket(cores)
+    };
+    cfg.delay_jitter_pct = 0;
+    cfg.spurious_abort_prob = 0.0;
+    let shared = Arc::new(AtomicU64::new(0));
+    let programs: Vec<Program> = (0..cores)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            Box::new(move |ctx: &mut SimCtx| {
+                let base = shared.load(SeqCst);
+                match i % 4 {
+                    0 => {
+                        for _ in 0..40 {
+                            ctx.faa(base, 1);
+                        }
+                        ctx.barrier();
+                        // Transactional read-modify-write with retry.
+                        let mut tries = 0;
+                        loop {
+                            tries += 1;
+                            let r = (|| -> coherence::TxResult<()> {
+                                ctx.tx_begin()?;
+                                let v = ctx.tx_read(base + 1)?;
+                                ctx.tx_delay(20)?;
+                                ctx.tx_write(base + 2, v + 1)?;
+                                ctx.tx_end()?;
+                                Ok(())
+                            })();
+                            if r.is_ok() || tries > 8 {
+                                break;
+                            }
+                        }
+                    }
+                    1 => {
+                        for _ in 0..40 {
+                            let old = ctx.read(base);
+                            ctx.cas(base, old, old + 1);
+                        }
+                        ctx.barrier();
+                        for k in 0..8 {
+                            let _ = ctx.read(base + k);
+                        }
+                    }
+                    2 => {
+                        for k in 0..30 {
+                            ctx.write(base + 3, k);
+                        }
+                        ctx.barrier();
+                        let extra = ctx.alloc(4);
+                        for k in 0..4 {
+                            ctx.write(extra + k, k * 7);
+                        }
+                        let _ = ctx.swap(base + 5, 99);
+                        ctx.free(extra, 4);
+                    }
+                    _ => {
+                        for _ in 0..10 {
+                            for k in 0..8 {
+                                let _ = ctx.read(base + k);
+                            }
+                        }
+                        ctx.barrier();
+                        ctx.delay(100);
+                        let _ = ctx.faa(base + 1, 3);
+                    }
+                }
+            }) as Program
+        })
+        .collect();
+    let s2 = Arc::clone(&shared);
+    Machine::new(cfg).run(
+        Box::new(move |ctx| {
+            let a = ctx.alloc(8);
+            for k in 0..8 {
+                ctx.write(a + k, k);
+            }
+            s2.store(a, SeqCst);
+        }),
+        programs,
+    )
+}
+
+/// Golden fingerprints captured from the seed (mpsc-channel) scheduler.
+/// A scheduler or hot-loop rewrite must reproduce these exactly.
+const GOLDEN_4_SINGLE: &str = "end=4313 core_end=[4230, 4313, 4319, 4137] \
+    msgs=[GetS:35 GetM:58 Data:42 Inv:36 InvAck:36 Fwd-GetS:25 Fwd-GetM:26 DataOwner:51 WbData:25 ] \
+    ops=[read:130 write:44 cas:40 faa:41 swap:1 delay:3 xbegin:2 xend:1 xabort:0 ] \
+    commits=1 conflicts=1 explicit=0 spurious=0 tripped=0 stalls=48 fix_stalls=0";
+const GOLDEN_6_DUAL: &str = "end=27774 core_end=[26814, 26130, 26313, 26124, 26420, 27774] \
+    msgs=[GetS:89 GetM:166 Data:94 Inv:106 InvAck:106 Fwd-GetS:56 Fwd-GetM:105 DataOwner:161 WbData:56 ] \
+    ops=[read:181 write:47 cas:80 faa:81 swap:1 delay:6 xbegin:5 xend:2 xabort:0 ] \
+    commits=2 conflicts=3 explicit=0 spurious=0 tripped=1 stalls=147 fix_stalls=0";
+
+fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let a = fingerprint(&fixed_workload(4, false));
+    for _ in 0..3 {
+        let b = fingerprint(&fixed_workload(4, false));
+        assert_eq!(a, b, "simulated results diverged between identical runs");
+    }
+}
+
+#[test]
+fn repeated_dual_socket_runs_are_identical() {
+    let a = fingerprint(&fixed_workload(6, true));
+    let b = fingerprint(&fixed_workload(6, true));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn matches_seed_scheduler_golden_single_socket() {
+    let fp = fingerprint(&fixed_workload(4, false));
+    assert_eq!(
+        normalize(&fp),
+        normalize(GOLDEN_4_SINGLE),
+        "single-socket fixture diverged from the seed scheduler's results"
+    );
+}
+
+#[test]
+fn matches_seed_scheduler_golden_dual_socket() {
+    let fp = fingerprint(&fixed_workload(6, true));
+    assert_eq!(
+        normalize(&fp),
+        normalize(GOLDEN_6_DUAL),
+        "dual-socket fixture diverged from the seed scheduler's results"
+    );
+}
