@@ -82,6 +82,15 @@ pub struct MachineConfig {
     /// RNG seed for spurious aborts (and nothing else — the simulator is
     /// otherwise deterministic).
     pub seed: u64,
+    /// Run simulated cores on dedicated OS threads (the slot-handshake
+    /// token-passing scheduler) instead of the default in-process fiber
+    /// scheduler. On targets without fiber support (non-x86_64) the
+    /// OS-thread scheduler is always used. Both schedulers produce
+    /// bit-identical `RunReport`s — this switch exists for the
+    /// cross-scheduler determinism test and for debugging; the fiber
+    /// scheduler is roughly an order of magnitude faster per simulated
+    /// op under contention.
+    pub os_thread_scheduler: bool,
     /// Record a full message/transaction trace (costly; for the Figure 2/3
     /// reproductions and debugging).
     pub trace: bool,
@@ -111,6 +120,7 @@ impl Default for MachineConfig {
             microarch_fix: false,
             spurious_abort_prob: 0.0,
             seed: 0x5b90,
+            os_thread_scheduler: false,
             trace: false,
             check_invariants: cfg!(debug_assertions),
         }

@@ -52,10 +52,13 @@
 //!         .collect(),
 //! );
 //! // 4 threads x 100 increments, fully accounted:
-//! assert_eq!(report.stats.ops.get("faa"), Some(&400));
+//! assert_eq!(report.stats.op("faa"), 400);
 //! ```
 
 pub mod config;
+#[cfg(target_arch = "x86_64")]
+pub mod fiber;
+pub mod fxhash;
 pub mod machine;
 pub mod msg;
 pub mod sim;

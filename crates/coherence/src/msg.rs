@@ -70,16 +70,22 @@ impl Msg {
 
     /// Short name for traces and stats.
     pub fn kind(&self) -> &'static str {
+        crate::stats::MSG_KINDS[self.kind_id()]
+    }
+
+    /// Dense index into [`crate::stats::MSG_KINDS`] — the stats arrays'
+    /// counter slot for this message kind.
+    pub(crate) fn kind_id(&self) -> usize {
         match self {
-            Msg::GetS { .. } => "GetS",
-            Msg::GetM { .. } => "GetM",
-            Msg::Data { .. } => "Data",
-            Msg::Inv { .. } => "Inv",
-            Msg::InvAck { .. } => "InvAck",
-            Msg::FwdGetS { .. } => "Fwd-GetS",
-            Msg::FwdGetM { .. } => "Fwd-GetM",
-            Msg::DataOwner { .. } => "DataOwner",
-            Msg::WbData { .. } => "WbData",
+            Msg::GetS { .. } => 0,
+            Msg::GetM { .. } => 1,
+            Msg::Data { .. } => 2,
+            Msg::Inv { .. } => 3,
+            Msg::InvAck { .. } => 4,
+            Msg::FwdGetS { .. } => 5,
+            Msg::FwdGetM { .. } => 6,
+            Msg::DataOwner { .. } => 7,
+            Msg::WbData { .. } => 8,
         }
     }
 }

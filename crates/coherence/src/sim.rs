@@ -31,12 +31,76 @@
 //! that arrives while the GetM is still pending.
 
 use crate::config::MachineConfig;
+use crate::fxhash::FxHashMap;
 use crate::msg::{Msg, Node};
 use crate::stats::{Stats, TraceEvent};
 use crate::txn::{self};
 use simrng::SimRng;
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+/// A small set of line addresses (transaction read/write sets). The
+/// paper's transactions touch a handful of lines, so a linear-scan vector
+/// beats any tree or table — and unlike a hash set it allocates nothing
+/// after the first few inserts and iterates in deterministic (insertion)
+/// order.
+#[derive(Debug, Default)]
+struct LineSet {
+    lines: Vec<u64>,
+}
+
+impl LineSet {
+    #[inline]
+    fn contains(&self, line: u64) -> bool {
+        self.lines.contains(&line)
+    }
+
+    #[inline]
+    fn insert(&mut self, line: u64) {
+        if !self.lines.contains(&line) {
+            self.lines.push(line);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &u64> {
+        self.lines.iter()
+    }
+
+    fn clear(&mut self) {
+        self.lines.clear();
+    }
+}
+
+/// A sorted set of core indices (directory sharer lists). Kept sorted so
+/// invalidations fan out in ascending core order — the same order the
+/// previous `BTreeSet` representation produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct SharerSet {
+    cores: Vec<usize>,
+}
+
+impl SharerSet {
+    fn one(core: usize) -> Self {
+        SharerSet { cores: vec![core] }
+    }
+
+    fn two(a: usize, b: usize) -> Self {
+        let mut cores = if a < b { vec![a, b] } else { vec![b, a] };
+        cores.dedup();
+        SharerSet { cores }
+    }
+
+    fn insert(&mut self, core: usize) {
+        if let Err(pos) = self.cores.binary_search(&core) {
+            self.cores.insert(pos, core);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &usize> {
+        self.cores.iter()
+    }
+}
 
 /// Stable state of a line in a private cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,8 +178,8 @@ struct PendingReq {
 #[derive(Debug, Default)]
 struct Txn {
     depth: u32,
-    read_set: BTreeSet<u64>,
-    write_set: BTreeSet<u64>,
+    read_set: LineSet,
+    write_set: LineSet,
 }
 
 /// Where a core's thread currently is, from the engine's point of view.
@@ -140,24 +204,34 @@ enum OpState {
 /// One core's private cache controller plus HTM state.
 #[derive(Debug)]
 struct Cache {
-    lines: HashMap<u64, CacheLine>,
+    lines: FxHashMap<u64, CacheLine>,
     /// Outstanding coherence requests, keyed by line: at most one the
     /// thread waits on (waiter set / deferred op), plus headless ones.
-    pending: HashMap<u64, PendingReq>,
+    pending: FxHashMap<u64, PendingReq>,
     /// A thread operation deferred because a (headless) request for its
     /// line is already in flight; re-dispatched at that request's
     /// completion (the MSHR-merge a real core performs).
     deferred: Option<OpKind>,
     deferred_line: u64,
     /// Coherence requests stalled behind a pending request / executing RMW
-    /// / committing transaction, in arrival order.
-    stalled: VecDeque<Msg>,
+    /// / committing transaction, indexed by line so release checks are one
+    /// lookup instead of a whole-queue scan. Each message carries its
+    /// arrival stamp; releases replay in global stamp order, matching the
+    /// arrival-ordered queue this replaces.
+    stalled: FxHashMap<u64, VecDeque<(u64, Msg)>>,
+    /// Messages across all `stalled` buckets.
+    stalled_count: usize,
+    /// Arrival counter feeding the stamps in `stalled`.
+    stall_stamp: u64,
     /// An RMW is executing (between data arrival and `RmwDone`): incoming
     /// Fwd requests must wait (§3.2).
     rmw_busy: bool,
     /// Line the executing RMW targets (valid while `rmw_busy`).
     rmw_line: u64,
     txn: Option<Txn>,
+    /// Retired transaction bookkeeping kept for reuse, so `xbegin` after
+    /// the first never allocates read/write-set storage.
+    txn_spare: Option<Txn>,
     /// Abort detected while the thread's next op sat in the inbox; reported
     /// when that op issues.
     pending_abort: Option<u32>,
@@ -170,14 +244,17 @@ struct Cache {
 impl Cache {
     fn new(socket: usize) -> Self {
         Cache {
-            lines: HashMap::new(),
-            pending: HashMap::new(),
+            lines: FxHashMap::default(),
+            pending: FxHashMap::default(),
             deferred: None,
             deferred_line: 0,
-            stalled: VecDeque::new(),
+            stalled: FxHashMap::default(),
+            stalled_count: 0,
+            stall_stamp: 0,
             rmw_busy: false,
             rmw_line: 0,
             txn: None,
+            txn_spare: None,
             pending_abort: None,
             gen: 0,
             op_state: OpState::Idle,
@@ -215,15 +292,25 @@ impl Cache {
     }
 
     fn txn_reads(&self, line: u64) -> bool {
-        self.txn
-            .as_ref()
-            .is_some_and(|t| t.read_set.contains(&line))
+        self.txn.as_ref().is_some_and(|t| t.read_set.contains(line))
     }
 
     fn txn_writes(&self, line: u64) -> bool {
         self.txn
             .as_ref()
-            .is_some_and(|t| t.write_set.contains(&line))
+            .is_some_and(|t| t.write_set.contains(line))
+    }
+
+    /// Files `msg` under its line in the stalled index, stamped with the
+    /// per-cache arrival counter.
+    fn stall(&mut self, msg: Msg) {
+        self.stall_stamp += 1;
+        let stamp = self.stall_stamp;
+        self.stalled
+            .entry(msg.line())
+            .or_default()
+            .push_back((stamp, msg));
+        self.stalled_count += 1;
     }
 }
 
@@ -231,7 +318,7 @@ impl Cache {
 #[derive(Debug, Clone)]
 enum DirState {
     Invalid,
-    Shared(BTreeSet<usize>),
+    Shared(SharerSet),
     /// Sole clean-or-dirty owner under MESI-E; the directory cannot tell
     /// E from M after a silent upgrade, so it forwards requests exactly
     /// as for Modified.
@@ -240,7 +327,7 @@ enum DirState {
     /// Transient: a Fwd-GetS was sent to the previous owner and the
     /// directory is waiting for its writeback before serving further
     /// requests for this line.
-    AwaitWb(BTreeSet<usize>),
+    AwaitWb(SharerSet),
 }
 
 #[derive(Debug)]
@@ -254,7 +341,7 @@ struct DirEntry {
 /// The directory (shared LLC slice).
 #[derive(Debug, Default)]
 struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    entries: FxHashMap<u64, DirEntry>,
 }
 
 impl Directory {
@@ -304,6 +391,132 @@ impl Ord for HeapItem {
     }
 }
 
+/// Calendar-wheel event queue, ordered by `(time, seq)`.
+///
+/// Event times cluster within a few hundred cycles of the clock (hop
+/// latencies, RMW windows), so a binary heap's `O(log n)` compares and
+/// element moves are wasted work. The wheel keeps the near future — times
+/// in `[clock, clock + WHEEL)` — in a circular array of per-time FIFO
+/// buckets: push is an append plus a bitmap bit, pop is a bitmap scan.
+/// Bucket vectors are pooled, so the steady state allocates nothing.
+/// Times at or beyond the horizon (long `delay()`s) overflow into a
+/// binary heap and migrate into the wheel as the clock advances.
+///
+/// Order preservation: within the horizon each bucket holds exactly one
+/// time value (times are unique mod `WHEEL` there), and appends happen in
+/// `seq` order, so bucket FIFO order is `(time, seq)` order. An overflow
+/// event migrates before any in-horizon push at the same time can occur
+/// (a push at `t` requires `t < clock + WHEEL`, and migration runs
+/// whenever the clock advances), so mixed buckets stay seq-sorted too.
+struct EventQ {
+    wheel: Vec<VecDeque<(u64, u64, Event)>>,
+    /// One bit per wheel bucket: bucket non-empty.
+    occupied: Vec<u64>,
+    far: BinaryHeap<HeapItem>,
+    len: usize,
+}
+
+/// Wheel size in buckets. Must exceed every in-flight latency the
+/// protocol generates on its own (hops, RMW/commit windows); only long
+/// program `delay()`s should overflow.
+const WHEEL: u64 = 4096;
+
+impl EventQ {
+    fn new() -> Self {
+        EventQ {
+            wheel: (0..WHEEL).map(|_| VecDeque::new()).collect(),
+            occupied: vec![0u64; (WHEEL / 64) as usize],
+            far: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn mark(&mut self, slot: u64) {
+        self.occupied[(slot / 64) as usize] |= 1u64 << (slot % 64);
+    }
+
+    #[inline]
+    fn push(&mut self, clock: u64, time: u64, seq: u64, ev: Event) {
+        self.len += 1;
+        if time - clock < WHEEL {
+            let slot = time % WHEEL;
+            self.wheel[slot as usize].push_back((time, seq, ev));
+            self.mark(slot);
+        } else {
+            self.far.push(HeapItem { time, seq, ev });
+        }
+    }
+
+    /// Removes and returns the earliest event. `clock` is the simulator's
+    /// current time; no event is ever scheduled in the past.
+    fn pop(&mut self, clock: u64) -> Option<(u64, u64, Event)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        let (time, seq, ev) = match self.scan(clock) {
+            Some(slot) => {
+                let bucket = &mut self.wheel[slot as usize];
+                let item = bucket.pop_front().expect("occupied bit without items");
+                if bucket.is_empty() {
+                    self.occupied[(slot / 64) as usize] &= !(1u64 << (slot % 64));
+                }
+                item
+            }
+            None => {
+                // Wheel empty: the overflow heap holds the minimum.
+                let item = self.far.pop().expect("len counted a missing event");
+                (item.time, item.seq, item.ev)
+            }
+        };
+        // The clock is about to advance to `time`: pull newly in-horizon
+        // overflow events into the wheel before anything can push at
+        // those times.
+        while let Some(top) = self.far.peek() {
+            if top.time - time >= WHEEL {
+                break;
+            }
+            let item = self.far.pop().unwrap();
+            let slot = item.time % WHEEL;
+            self.wheel[slot as usize].push_back((item.time, item.seq, item.ev));
+            self.mark(slot);
+        }
+        Some((time, seq, ev))
+    }
+
+    /// Finds the occupied bucket with the smallest time ≥ `clock`, i.e.
+    /// the first occupied bucket in circular order from `clock`'s slot.
+    fn scan(&self, clock: u64) -> Option<u64> {
+        let start = clock % WHEEL;
+        let words = self.occupied.len() as u64;
+        let first_word = start / 64;
+        // Mask off bits below `start` in its word, then walk the bitmap
+        // circularly; total work is a few dozen word reads at most.
+        let head = self.occupied[first_word as usize] & (!0u64 << (start % 64));
+        if head != 0 {
+            return Some(first_word * 64 + head.trailing_zeros() as u64);
+        }
+        for i in 1..=words {
+            let w = (first_word + i) % words;
+            let bits = self.occupied[w as usize];
+            if bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as u64;
+                // The wrapped tail of the start word: bits below `start`
+                // belong to times ~WHEEL ahead, still valid candidates
+                // only after the full circle — which this loop's `i ==
+                // words` iteration (same word again) handles naturally.
+                return Some(slot);
+            }
+        }
+        None
+    }
+}
+
 /// A memory operation as issued by a thread.
 #[derive(Debug, Clone, Copy)]
 pub enum OpKind {
@@ -319,17 +532,18 @@ pub enum OpKind {
 }
 
 impl OpKind {
-    fn name(&self) -> &'static str {
+    /// Dense index into [`crate::stats::OP_KINDS`].
+    fn name_id(&self) -> usize {
         match self {
-            OpKind::Read(..) => "read",
-            OpKind::Write(..) => "write",
-            OpKind::Cas(..) => "cas",
-            OpKind::Faa(..) => "faa",
-            OpKind::Swap(..) => "swap",
-            OpKind::Delay(..) => "delay",
-            OpKind::TxBegin => "xbegin",
-            OpKind::TxEnd => "xend",
-            OpKind::TxAbort(..) => "xabort",
+            OpKind::Read(..) => 0,
+            OpKind::Write(..) => 1,
+            OpKind::Cas(..) => 2,
+            OpKind::Faa(..) => 3,
+            OpKind::Swap(..) => 4,
+            OpKind::Delay(..) => 5,
+            OpKind::TxBegin => 6,
+            OpKind::TxEnd => 7,
+            OpKind::TxAbort(..) => 8,
         }
     }
 }
@@ -354,10 +568,10 @@ pub struct Resume {
 
 /// The protocol engine. Owned and driven by [`crate::machine`].
 pub struct Sim {
-    pub cfg: MachineConfig,
+    pub cfg: Arc<MachineConfig>,
     clock: u64,
     seq: u64,
-    events: BinaryHeap<HeapItem>,
+    events: EventQ,
     dir: Directory,
     caches: Vec<Cache>,
     /// Operation each core's thread has issued and not yet begun.
@@ -373,10 +587,14 @@ pub struct Sim {
     dir_free_at: u64,
     /// Earliest time each cache can serve its next incoming request.
     cache_free_at: Vec<u64>,
+    /// Reusable buffer for released stalled messages.
+    stall_scratch: Vec<(u64, Msg)>,
+    /// Reusable buffer for directory-queued request replay.
+    wb_scratch: VecDeque<(usize, Msg)>,
 }
 
 impl Sim {
-    pub fn new(cfg: MachineConfig) -> Self {
+    pub fn new(cfg: Arc<MachineConfig>) -> Self {
         // +1 for the bootstrap core used by the setup phase.
         let ncaches = cfg.cores + 1;
         let caches = (0..ncaches).map(|c| Cache::new(cfg.socket_of(c))).collect();
@@ -384,17 +602,19 @@ impl Sim {
             rng: SimRng::seed_from_u64(cfg.seed),
             clock: 0,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: EventQ::new(),
             dir: Directory::default(),
             caches,
             op_inbox: vec![None; ncaches],
             resumes: Vec::new(),
             stats: Stats::default(),
             trace: Vec::new(),
-            cfg,
             check_countdown: 0,
             dir_free_at: 0,
             cache_free_at: vec![0; ncaches],
+            stall_scratch: Vec::new(),
+            wb_scratch: VecDeque::new(),
+            cfg,
         }
     }
 
@@ -406,11 +626,7 @@ impl Sim {
     fn push(&mut self, time: u64, ev: Event) {
         debug_assert!(time >= self.clock, "event scheduled in the past");
         self.seq += 1;
-        self.events.push(HeapItem {
-            time,
-            seq: self.seq,
-            ev,
-        });
+        self.events.push(self.clock, time, self.seq, ev);
     }
 
     /// Point-to-point one-way latency between two nodes.
@@ -435,7 +651,7 @@ impl Sim {
                 line: msg.line(),
             });
         }
-        self.stats.count_msg(msg.kind());
+        self.stats.count_msg(msg.kind_id());
         self.push(recv, Event::Deliver { to: dst, msg });
     }
 
@@ -481,12 +697,12 @@ impl Sim {
 
     /// Processes the next event; returns false if the queue was empty.
     pub fn step(&mut self) -> bool {
-        let Some(item) = self.events.pop() else {
+        let Some((time, _seq, ev)) = self.events.pop(self.clock) else {
             return false;
         };
-        debug_assert!(item.time >= self.clock);
-        self.clock = item.time;
-        match item.ev {
+        debug_assert!(time >= self.clock);
+        self.clock = time;
+        match ev {
             Event::Deliver { to, msg } => match to {
                 Node::Dir => self.dir_handle(msg),
                 Node::Core(c) => self.cache_handle(c, msg),
@@ -525,7 +741,7 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn begin_op(&mut self, core: usize, op: OpKind) {
-        self.stats.count_op(op.name());
+        self.stats.count_op(op.name_id());
         // A transaction aborted while the thread was computing locally is
         // reported at its next operation.
         if let Some(status) = self.caches[core].pending_abort.take() {
@@ -788,10 +1004,10 @@ impl Sim {
         let cache = &mut self.caches[core];
         match &mut cache.txn {
             None => {
-                cache.txn = Some(Txn {
-                    depth: 1,
-                    ..Default::default()
-                })
+                // Reuse the previous transaction's (cleared) set storage.
+                let mut t = cache.txn_spare.take().unwrap_or_default();
+                t.depth = 1;
+                cache.txn = Some(t);
             }
             Some(t) => t.depth += 1, // flat nesting
         }
@@ -827,13 +1043,16 @@ impl Sim {
             return;
         }
         let cache = &mut self.caches[core];
-        let t = cache.txn.take().expect("commit without txn");
+        let mut t = cache.txn.take().expect("commit without txn");
         for line in t.read_set.iter().chain(t.write_set.iter()) {
             if let Some(l) = cache.lines.get_mut(line) {
                 l.tr = false;
                 l.tw = false;
             }
         }
+        t.read_set.clear();
+        t.write_set.clear();
+        cache.txn_spare = Some(t);
         self.stats.tx_commits += 1;
         self.trace_tx(core, "commit", 0);
         let done = self.clock + self.cfg.xend_cycles;
@@ -844,7 +1063,7 @@ impl Sim {
     /// Aborts `core`'s running transaction with the given status bits
     /// (RETRY/NESTED are added here).
     fn abort_txn(&mut self, core: usize, status: u32) {
-        let Some(t) = self.caches[core].txn.take() else {
+        let Some(mut t) = self.caches[core].txn.take() else {
             return;
         };
         let mut status = status | txn::RETRY;
@@ -854,7 +1073,7 @@ impl Sim {
         {
             let cache = &mut self.caches[core];
             // Roll back transactional writes applied to owned lines.
-            for line in &t.write_set {
+            for line in t.write_set.iter() {
                 if let Some(l) = cache.lines.get_mut(line) {
                     if l.tw {
                         l.value = l.clean;
@@ -862,11 +1081,14 @@ impl Sim {
                     }
                 }
             }
-            for line in &t.read_set {
+            for line in t.read_set.iter() {
                 if let Some(l) = cache.lines.get_mut(line) {
                     l.tr = false;
                 }
             }
+            t.read_set.clear();
+            t.write_set.clear();
+            cache.txn_spare = Some(t);
         }
         if txn::is_explicit(status) {
             self.stats.tx_aborts_explicit += 1;
@@ -947,7 +1169,9 @@ impl Sim {
         match msg {
             Msg::GetS { .. } => {
                 let e = self.dir.entry(line);
-                match e.state.clone() {
+                // Move the state out instead of cloning it; every arm
+                // writes the successor state back.
+                match std::mem::replace(&mut e.state, DirState::Invalid) {
                     DirState::Invalid => {
                         let v = e.mem;
                         if self.cfg.mesi_exclusive {
@@ -964,7 +1188,7 @@ impl Sim {
                                 },
                             );
                         } else {
-                            e.state = DirState::Shared(BTreeSet::from([from]));
+                            e.state = DirState::Shared(SharerSet::one(from));
                             self.send(
                                 Node::Dir,
                                 Node::Core(from),
@@ -994,7 +1218,7 @@ impl Sim {
                     }
                     DirState::Exclusive(owner) | DirState::Modified(owner) => {
                         assert_ne!(owner, from, "owner re-requesting GetS");
-                        e.state = DirState::AwaitWb(BTreeSet::from([owner, from]));
+                        e.state = DirState::AwaitWb(SharerSet::two(owner, from));
                         self.send(
                             Node::Dir,
                             Node::Core(owner),
@@ -1009,7 +1233,7 @@ impl Sim {
             }
             Msg::GetM { .. } => {
                 let e = self.dir.entry(line);
-                match e.state.clone() {
+                match std::mem::replace(&mut e.state, DirState::Invalid) {
                     DirState::Invalid => {
                         let v = e.mem;
                         e.state = DirState::Modified(from);
@@ -1026,30 +1250,34 @@ impl Sim {
                     }
                     DirState::Shared(s) => {
                         let v = e.mem;
-                        let others: Vec<usize> = s.iter().copied().filter(|&c| c != from).collect();
                         e.state = DirState::Modified(from);
+                        let acks = s.iter().filter(|&&c| c != from).count() as u64;
                         // The data response and all invalidations leave
                         // back-to-back: the concurrency that makes HTM CAS
-                        // failures scale (§3.3).
+                        // failures scale (§3.3). `s` is owned here (moved
+                        // out of the entry), so the fan-out iterates it
+                        // directly — no per-call `others` Vec.
                         self.send(
                             Node::Dir,
                             Node::Core(from),
                             Msg::Data {
                                 line,
                                 value: v,
-                                acks: others.len() as u64,
+                                acks,
                                 excl: false,
                             },
                         );
-                        for c in others {
-                            self.send(
-                                Node::Dir,
-                                Node::Core(c),
-                                Msg::Inv {
-                                    line,
-                                    requester: from,
-                                },
-                            );
+                        for &c in s.iter() {
+                            if c != from {
+                                self.send(
+                                    Node::Dir,
+                                    Node::Core(c),
+                                    Msg::Inv {
+                                        line,
+                                        requester: from,
+                                    },
+                                );
+                            }
                         }
                     }
                     DirState::Exclusive(owner) | DirState::Modified(owner) => {
@@ -1069,14 +1297,20 @@ impl Sim {
             }
             Msg::WbData { value, .. } => {
                 let e = self.dir.entry(line);
-                let DirState::AwaitWb(sharers) = e.state.clone() else {
+                let DirState::AwaitWb(sharers) = std::mem::replace(&mut e.state, DirState::Invalid)
+                else {
                     panic!("unexpected WbData");
                 };
                 e.mem = value;
                 e.state = DirState::Shared(sharers);
-                // Replay requests that queued behind the writeback.
-                let queued: Vec<(usize, Msg)> = self.dir.entry(line).queued.drain(..).collect();
-                for (_, m) in queued {
+                // Replay requests that queued behind the writeback. Swap
+                // the bucket into a reusable scratch deque; the replayed
+                // messages are GetS/GetM only (WbData is never queued), so
+                // a replay can re-queue behind a fresh AwaitWb but never
+                // re-enter this arm while the scratch is in use.
+                debug_assert!(self.wb_scratch.is_empty());
+                std::mem::swap(&mut self.wb_scratch, &mut e.queued);
+                while let Some((_, m)) = self.wb_scratch.pop_front() {
                     self.dir_handle(m);
                 }
             }
@@ -1282,9 +1516,7 @@ impl Sim {
                 // single pending GetM; stall the read until commit.
                 self.stats.fix_stalls += 1;
                 self.stats.stalls += 1;
-                self.caches[core]
-                    .stalled
-                    .push_back(Msg::FwdGetS { line, requester });
+                self.caches[core].stall(Msg::FwdGetS { line, requester });
                 return;
             }
             self.stats.tripped_writers += 1;
@@ -1292,25 +1524,19 @@ impl Sim {
             // We still become owner when the GetM completes (headless);
             // serve the read then.
             self.stats.stalls += 1;
-            self.caches[core]
-                .stalled
-                .push_back(Msg::FwdGetS { line, requester });
+            self.caches[core].stall(Msg::FwdGetS { line, requester });
             return;
         }
         if txn_wrote && owns {
             // Commit window (ownership held, xend imminent): stall — see
             // the commit-atomicity note in the module docs.
             self.stats.stalls += 1;
-            self.caches[core]
-                .stalled
-                .push_back(Msg::FwdGetS { line, requester });
+            self.caches[core].stall(Msg::FwdGetS { line, requester });
             return;
         }
         if pending_here || self.caches[core].rmw_busy {
             self.stats.stalls += 1;
-            self.caches[core]
-                .stalled
-                .push_back(Msg::FwdGetS { line, requester });
+            self.caches[core].stall(Msg::FwdGetS { line, requester });
             return;
         }
         // A remote read of a line we own but only transactionally *read*
@@ -1357,9 +1583,7 @@ impl Sim {
             // (Figure 2a's C2; for transactions this preserves the §3.3
             // winner, whose commit is atomic with GetM completion).
             self.stats.stalls += 1;
-            self.caches[core]
-                .stalled
-                .push_back(Msg::FwdGetM { line, requester });
+            self.caches[core].stall(Msg::FwdGetM { line, requester });
             return;
         }
         if txn_read {
@@ -1392,28 +1616,45 @@ impl Sim {
     /// so every conflict/stall condition is re-evaluated from scratch —
     /// at the current simulated time.
     fn drain_stalled(&mut self, core: usize) {
-        if self.caches[core].rmw_busy {
+        if self.caches[core].rmw_busy || self.caches[core].stalled_count == 0 {
             return; // the atomic window blocks the whole cache
         }
-        let msgs: Vec<Msg> = self.caches[core].stalled.drain(..).collect();
-        for msg in msgs {
-            let line = msg.line();
-            let blocked = {
-                let cache = &self.caches[core];
-                cache.pending.contains_key(&line) || cache.txn_writes(line)
-            };
-            if blocked {
-                self.caches[core].stalled.push_back(msg);
-            } else {
-                self.push(
-                    self.clock,
-                    Event::Deliver {
-                        to: Node::Core(core),
-                        msg,
-                    },
-                );
-            }
+        // The blocking condition is per line, so consult each line's
+        // bucket once instead of re-scanning every stalled message.
+        // Released messages are re-delivered in arrival-stamp order —
+        // exactly the order the old whole-queue scan produced — through
+        // the regular handlers, so every conflict/stall condition is
+        // re-evaluated from scratch at the current simulated time.
+        let mut freed = std::mem::take(&mut self.stall_scratch);
+        debug_assert!(freed.is_empty());
+        {
+            let cache = &mut self.caches[core];
+            let pending = &cache.pending;
+            let txn = &cache.txn;
+            cache.stalled.retain(|&line, bucket| {
+                let blocked = pending.contains_key(&line)
+                    || txn.as_ref().is_some_and(|t| t.write_set.contains(line));
+                if blocked {
+                    true
+                } else {
+                    freed.extend(bucket.drain(..));
+                    false
+                }
+            });
+            cache.stalled_count -= freed.len();
         }
+        freed.sort_unstable_by_key(|&(stamp, _)| stamp);
+        for &(_, msg) in &freed {
+            self.push(
+                self.clock,
+                Event::Deliver {
+                    to: Node::Core(core),
+                    msg,
+                },
+            );
+        }
+        freed.clear();
+        self.stall_scratch = freed;
     }
 
     // ------------------------------------------------------------------

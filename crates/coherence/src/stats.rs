@@ -1,12 +1,35 @@
 //! Run statistics and trace records.
+//!
+//! Counters are fixed arrays indexed by message/op kind — incrementing
+//! one is an add at a compile-time-known offset, with no hashing on the
+//! per-operation path — and iteration order is the declaration order
+//! below, so every report renders deterministically.
 
-use std::collections::HashMap;
+/// Message kinds, in canonical (declaration/report) order. Indices match
+/// [`crate::msg::Msg::kind_id`].
+pub const MSG_KINDS: [&str; 9] = [
+    "GetS",
+    "GetM",
+    "Data",
+    "Inv",
+    "InvAck",
+    "Fwd-GetS",
+    "Fwd-GetM",
+    "DataOwner",
+    "WbData",
+];
+
+/// Operation kinds, in canonical (declaration/report) order. Indices
+/// match `OpKind::name_id`.
+pub const OP_KINDS: [&str; 9] = [
+    "read", "write", "cas", "faa", "swap", "delay", "xbegin", "xend", "xabort",
+];
 
 /// Counters accumulated over a simulation run.
 #[derive(Debug, Default, Clone)]
 pub struct Stats {
-    /// Messages delivered, by kind name.
-    pub msgs: HashMap<&'static str, u64>,
+    /// Messages delivered, indexed by [`MSG_KINDS`].
+    msgs: [u64; MSG_KINDS.len()],
     /// Transactions committed.
     pub tx_commits: u64,
     /// Transactions aborted by a data conflict.
@@ -23,27 +46,46 @@ pub struct Stats {
     pub stalls: u64,
     /// Fwd-GetS requests stalled by the §3.4.1 microarchitectural fix.
     pub fix_stalls: u64,
-    /// Memory operations executed, by kind ("read", "write", "cas", ...).
-    pub ops: HashMap<&'static str, u64>,
+    /// Memory operations executed, indexed by [`OP_KINDS`].
+    ops: [u64; OP_KINDS.len()],
 }
 
 impl Stats {
-    pub(crate) fn count_msg(&mut self, kind: &'static str) {
-        *self.msgs.entry(kind).or_insert(0) += 1;
+    #[inline]
+    pub(crate) fn count_msg(&mut self, kind_id: usize) {
+        self.msgs[kind_id] += 1;
     }
 
-    pub(crate) fn count_op(&mut self, kind: &'static str) {
-        *self.ops.entry(kind).or_insert(0) += 1;
+    #[inline]
+    pub(crate) fn count_op(&mut self, kind_id: usize) {
+        self.ops[kind_id] += 1;
     }
 
-    /// Total messages of the given kind.
+    /// Total messages of the given kind (0 for unknown names).
     pub fn msg(&self, kind: &str) -> u64 {
-        self.msgs.get(kind).copied().unwrap_or(0)
+        MSG_KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .map_or(0, |i| self.msgs[i])
     }
 
-    /// Total operations of the given kind ("read", "write", "cas", ...).
+    /// Total operations of the given kind ("read", "write", "cas", ...;
+    /// 0 for unknown names).
     pub fn op(&self, kind: &str) -> u64 {
-        self.ops.get(kind).copied().unwrap_or(0)
+        OP_KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .map_or(0, |i| self.ops[i])
+    }
+
+    /// Per-kind message counts, in [`MSG_KINDS`] order.
+    pub fn msgs(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        MSG_KINDS.iter().zip(self.msgs).map(|(&k, n)| (k, n))
+    }
+
+    /// Per-kind operation counts, in [`OP_KINDS`] order.
+    pub fn ops(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        OP_KINDS.iter().zip(self.ops).map(|(&k, n)| (k, n))
     }
 
     /// Total aborts of all causes.

@@ -53,7 +53,9 @@ fn fingerprint(r: &RunReport) -> String {
 /// A fixed 4-core workload covering the protocol broadside: contended
 /// FAA and CAS, shared reads, exclusive writes, swap, delays, an HTM
 /// transaction with retry, allocation/free, and a mid-run barrier.
-fn fixed_workload(cores: usize, dual_socket: bool) -> RunReport {
+/// `os_threads` forces the OS-thread scheduler instead of the default
+/// fiber scheduler (where fibers are supported).
+fn fixed_workload_on(cores: usize, dual_socket: bool, os_threads: bool) -> RunReport {
     let mut cfg = if dual_socket {
         MachineConfig::dual_socket(cores.div_ceil(2))
     } else {
@@ -61,6 +63,7 @@ fn fixed_workload(cores: usize, dual_socket: bool) -> RunReport {
     };
     cfg.delay_jitter_pct = 0;
     cfg.spurious_abort_prob = 0.0;
+    cfg.os_thread_scheduler = os_threads;
     let shared = Arc::new(AtomicU64::new(0));
     let programs: Vec<Program> = (0..cores)
         .map(|i| {
@@ -139,6 +142,11 @@ fn fixed_workload(cores: usize, dual_socket: bool) -> RunReport {
     )
 }
 
+/// The fixture on the default scheduler (fibers on x86_64).
+fn fixed_workload(cores: usize, dual_socket: bool) -> RunReport {
+    fixed_workload_on(cores, dual_socket, false)
+}
+
 /// Golden fingerprints captured from the seed (mpsc-channel) scheduler.
 /// A scheduler or hot-loop rewrite must reproduce these exactly.
 const GOLDEN_4_SINGLE: &str = "end=4313 core_end=[4230, 4313, 4319, 4137] \
@@ -188,4 +196,37 @@ fn matches_seed_scheduler_golden_dual_socket() {
         normalize(GOLDEN_6_DUAL),
         "dual-socket fixture diverged from the seed scheduler's results"
     );
+}
+
+/// The OS-thread (token-passing) scheduler must reproduce the same
+/// goldens as the default fiber scheduler: the two are interchangeable
+/// down to the bit.
+#[test]
+fn os_thread_scheduler_matches_goldens() {
+    let fp = fingerprint(&fixed_workload_on(4, false, true));
+    assert_eq!(
+        normalize(&fp),
+        normalize(GOLDEN_4_SINGLE),
+        "OS-thread scheduler diverged from the golden results"
+    );
+    let fp = fingerprint(&fixed_workload_on(6, true, true));
+    assert_eq!(
+        normalize(&fp),
+        normalize(GOLDEN_6_DUAL),
+        "OS-thread scheduler diverged from the golden results (dual socket)"
+    );
+}
+
+/// Belt and braces: run both schedulers side by side and compare the
+/// full fingerprints directly (not just against the stored goldens).
+#[test]
+fn schedulers_agree_with_each_other() {
+    for &(cores, dual) in &[(2usize, false), (5, false), (6, true)] {
+        let fibers = fingerprint(&fixed_workload_on(cores, dual, false));
+        let threads = fingerprint(&fixed_workload_on(cores, dual, true));
+        assert_eq!(
+            fibers, threads,
+            "fiber and OS-thread schedulers diverged at cores={cores} dual={dual}"
+        );
+    }
 }
