@@ -165,7 +165,13 @@ impl MsQueue {
                 ctx.cas(self.base + TAIL, t, next);
             }
             let value = ctx.read(next + VALUE);
-            if ctx.cas(self.base + HEAD, h, next) {
+            // `planted-bug` (a test-only feature, never enabled by
+            // default) deliberately treats a lost head swing as a win, so
+            // two contending dequeuers return the same value. It exists
+            // solely as the known defect the simfuzz harness must be able
+            // to find, shrink, and replay.
+            let won = ctx.cas(self.base + HEAD, h, next);
+            if won || cfg!(feature = "planted-bug") {
                 break Some(value);
             }
         };

@@ -30,15 +30,121 @@
 //! tsv-out  also write the TSV capture here (optional)
 //! baseline prior TSV capture to compare against (optional)
 //! ```
+//!
+//! `simctl fuzz [options]` runs a [`simfuzz`] campaign — randomized
+//! workloads with fault injection, every history linearizability-checked;
+//! failures are shrunk and written as replayable artifacts. Options
+//! (either `--key value` or `key=value`):
+//!
+//! ```text
+//! --seeds N       consecutive seeds to run     default 64
+//! --start N       first seed                   default 0
+//! --queue K       pin one queue (else rotate over all implementations)
+//! --artifacts D   reproducer output directory  default fuzz-artifacts
+//! --repro FILE    replay one artifact instead of running a campaign
+//! ```
+//!
+//! Exit status: campaigns exit 1 if any seed failed; `--repro` exits 1
+//! if the artifact no longer reproduces its recorded violation kind.
 
 use bench::simq::{QueueKind, QueueParams};
 use bench::workload::{paper_workload, run_workload, WorkloadKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH]"
+        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH]\n       simctl fuzz [--seeds N] [--start N] [--queue K] [--artifacts DIR] [--repro FILE]"
     );
     std::process::exit(2);
+}
+
+fn fuzz_main(args: &[String]) {
+    let mut cfg = simfuzz::CampaignConfig::default();
+    let mut repro: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        // Accept both `--key value` and `key=value`.
+        let (k, v) = if let Some((k, v)) = args[i].split_once('=') {
+            (k.trim_start_matches("--"), v.to_string())
+        } else {
+            let k = args[i].trim_start_matches("--");
+            i += 1;
+            let Some(v) = args.get(i) else {
+                eprintln!("--{k} needs a value");
+                usage();
+            };
+            (k, v.clone())
+        };
+        match k {
+            "seeds" => cfg.seeds = v.parse().unwrap_or_else(|_| usage()),
+            "start" | "start-seed" => cfg.start_seed = v.parse().unwrap_or_else(|_| usage()),
+            "queue" => {
+                cfg.queue = Some(QueueKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown queue `{v}`");
+                    usage();
+                }))
+            }
+            "artifacts" => cfg.artifacts_dir = Some(v.into()),
+            "repro" => repro = Some(v),
+            other => {
+                eprintln!("unknown key `{other}`");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = repro {
+        let r = simfuzz::reproduce(std::path::Path::new(&path)).unwrap_or_else(|e| {
+            eprintln!("simctl fuzz --repro: {e}");
+            std::process::exit(2);
+        });
+        match &r.violation {
+            Some(v) => println!("replay: {v}"),
+            None => println!("replay: linearizable"),
+        }
+        println!("fingerprint: {}", r.fingerprint);
+        if r.reproduced {
+            println!("reproduced recorded violation kind `{}`", r.expected);
+        } else {
+            println!(
+                "did NOT reproduce recorded violation kind `{}` — stale artifact?",
+                r.expected
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let report = simfuzz::run_campaign(&cfg, |seed, queue, violation| {
+        if let Some(v) = violation {
+            eprintln!("seed {seed} ({queue}): {v}");
+        }
+    });
+    for f in &report.failures {
+        let p = &f.shrunk.plan;
+        println!(
+            "FAIL seed {} ({}): {} — shrunk to threads={} ops={} in {} runs{}",
+            f.seed,
+            p.queue.name(),
+            f.shrunk.violation,
+            p.threads,
+            p.ops_per_thread,
+            f.shrunk.runs,
+            match &f.artifact {
+                Some(path) => format!(" → {}", path.display()),
+                None => String::new(),
+            }
+        );
+    }
+    println!(
+        "fuzz: {} seeds ({}), {} failure(s)",
+        report.runs,
+        cfg.queue.map_or("all queues", |q| q.name()),
+        report.failures.len()
+    );
+    if !report.failures.is_empty() {
+        std::process::exit(1);
+    }
 }
 
 fn bench_main(args: &[String]) {
@@ -96,6 +202,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         bench_main(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        fuzz_main(&args[1..]);
         return;
     }
     if args.len() < 3 {

@@ -3,7 +3,8 @@
 //! One module per concern:
 //!
 //! * [`simq`] — uniform adapters running every evaluated queue on the
-//!   coherence simulator;
+//!   coherence simulator (owned by the `simfuzz` crate, re-exported here
+//!   so benchmark code keeps its `bench::simq` paths);
 //! * [`workload`] — the paper's three workloads (§6.1): producer-only,
 //!   consumer-only (pre-filled), and mixed with producers and consumers on
 //!   separate sockets;
@@ -17,7 +18,7 @@
 //! (comma-separated thread counts).
 
 pub mod fig;
-pub mod simq;
+pub use simfuzz::simq;
 pub mod trace_render;
 pub mod wallbench;
 pub mod workload;

@@ -7,7 +7,7 @@
 //! and consumers on socket 1, matching the paper's placement rule that
 //! all TxCASs of a location run on one processor (§4.3).
 
-use crate::simq::{BqOriginalSim, CcSim, MsSim, SbqCasSim, SbqHtmSim, WfSim};
+use crate::simq::{BqOriginalSim, CcSim, MsSim, SbqCasSim, SbqHtmSim, SbqStripedSim, WfSim};
 use crate::simq::{QueueKind, QueueParams, SimQueue};
 use absmem::ThreadCtx;
 use coherence::{Machine, MachineConfig, Program, SimCtx};
@@ -173,6 +173,7 @@ pub fn run_workload(kind: QueueKind, w: &Workload) -> Measurement {
     match kind {
         QueueKind::SbqHtm => run_generic::<SbqHtmSim>(w),
         QueueKind::SbqCas => run_generic::<SbqCasSim>(w),
+        QueueKind::SbqStriped => run_generic::<SbqStripedSim>(w),
         QueueKind::BqOriginal => run_generic::<BqOriginalSim>(w),
         QueueKind::WfQueue => run_generic::<WfSim>(w),
         QueueKind::CcQueue => run_generic::<CcSim>(w),

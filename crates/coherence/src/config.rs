@@ -79,8 +79,23 @@ pub struct MachineConfig {
     /// abort at `_xend`, modelling interrupts and other
     /// implementation-specific aborts. 0.0 disables.
     pub spurious_abort_prob: f64,
-    /// RNG seed for spurious aborts (and nothing else — the simulator is
-    /// otherwise deterministic).
+    /// Transactional capacity, in distinct read-set + write-set entries:
+    /// a transaction whose footprint grows past this limit aborts with
+    /// `txn::CAPACITY` (RTM's `_XABORT_CAPACITY`). 0 disables the model
+    /// (unbounded capacity, the calibrated default — the paper's
+    /// transactions touch a handful of lines). Used by the fuzzer to
+    /// exercise fallback paths.
+    pub tx_capacity_lines: usize,
+    /// Scheduler-choice perturbation: maximum extra cycles (uniform in
+    /// `0..=sched_perturb`, drawn from the seeded RNG) added to the issue
+    /// time of each thread operation. This biases *which ready core runs
+    /// next* without touching in-flight protocol messages, so distinct
+    /// seeds explore distinct coherence interleavings instead of one
+    /// canonical schedule. 0 disables (the calibrated default).
+    pub sched_perturb: u64,
+    /// RNG seed for delay jitter, spurious aborts, and scheduler
+    /// perturbation (and nothing else — the simulator is otherwise
+    /// deterministic).
     pub seed: u64,
     /// Run simulated cores on dedicated OS threads (the slot-handshake
     /// token-passing scheduler) instead of the default in-process fiber
@@ -119,6 +134,8 @@ impl Default for MachineConfig {
             mesi_exclusive: false,
             microarch_fix: false,
             spurious_abort_prob: 0.0,
+            tx_capacity_lines: 0,
+            sched_perturb: 0,
             seed: 0x5b90,
             os_thread_scheduler: false,
             trace: false,

@@ -63,6 +63,11 @@ impl LineSet {
         }
     }
 
+    #[inline]
+    fn len(&self) -> usize {
+        self.lines.len()
+    }
+
     fn iter(&self) -> impl Iterator<Item = &u64> {
         self.lines.iter()
     }
@@ -686,7 +691,15 @@ impl Sim {
         assert_eq!(self.caches[core].op_state, OpState::Idle);
         self.caches[core].op_state = OpState::Inbox;
         self.op_inbox[core] = Some(op);
-        let t = at.max(self.clock) + self.cfg.op_cycles;
+        let mut t = at.max(self.clock) + self.cfg.op_cycles;
+        // Scheduler-choice perturbation: stretch the issue latency so a
+        // different ready core wins the next engine slot. Only IssueOp
+        // times are perturbed — in-flight protocol messages keep their
+        // modelled latencies, so the protocol stays well-formed and both
+        // schedulers consume the RNG in the same (submit) order.
+        if self.cfg.sched_perturb > 0 {
+            t += self.rng.gen_range_inclusive(0, self.cfg.sched_perturb);
+        }
         self.push(t, Event::IssueOp { core });
     }
 
@@ -829,6 +842,10 @@ impl Sim {
                 .unwrap()
                 .read_set
                 .insert(line);
+            if self.txn_over_capacity(core) {
+                self.abort_txn(core, txn::CAPACITY);
+                return;
+            }
         }
         if let Some(v) = hit {
             let done = self.clock + self.cfg.hit_cycles;
@@ -872,6 +889,10 @@ impl Sim {
                 .unwrap()
                 .write_set
                 .insert(line);
+            if self.txn_over_capacity(core) {
+                self.abort_txn(core, txn::CAPACITY);
+                return;
+            }
             if self.caches[core].state(line).writable() {
                 // Ownership already held (M, or E with a silent upgrade):
                 // buffer the write transactionally.
@@ -1000,6 +1021,20 @@ impl Sim {
         self.drain_stalled(core);
     }
 
+    /// True if `core`'s running transaction has outgrown the modelled
+    /// transactional capacity (`tx_capacity_lines` distinct read-set plus
+    /// write-set entries; 0 = unbounded).
+    fn txn_over_capacity(&self, core: usize) -> bool {
+        let limit = self.cfg.tx_capacity_lines;
+        if limit == 0 {
+            return false;
+        }
+        self.caches[core]
+            .txn
+            .as_ref()
+            .is_some_and(|t| t.read_set.len() + t.write_set.len() > limit)
+    }
+
     fn op_txbegin(&mut self, core: usize) {
         let cache = &mut self.caches[core];
         match &mut cache.txn {
@@ -1094,6 +1129,8 @@ impl Sim {
             self.stats.tx_aborts_explicit += 1;
         } else if txn::is_conflict(status) {
             self.stats.tx_aborts_conflict += 1;
+        } else if txn::is_capacity(status) {
+            self.stats.tx_aborts_capacity += 1;
         }
         self.trace_tx(core, "abort", status);
 
@@ -1673,6 +1710,76 @@ impl Sim {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Test-only access to private engine structures, so the integration
+/// property suite in `tests/` can exercise them directly. Not part of the
+/// public API.
+#[doc(hidden)]
+pub mod testhooks {
+    use super::{Event, EventQ};
+
+    /// A handle over the calendar-wheel event queue that pushes and pops
+    /// opaque `(time, payload)` pairs, mirroring exactly how the engine
+    /// drives it (monotone clock, engine-allocated `seq` tiebreaker).
+    pub struct WheelProbe {
+        q: EventQ,
+        clock: u64,
+        seq: u64,
+    }
+
+    impl Default for WheelProbe {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl WheelProbe {
+        pub fn new() -> Self {
+            WheelProbe {
+                q: EventQ::new(),
+                clock: 0,
+                seq: 0,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.q.len
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.q.is_empty()
+        }
+
+        /// Current clock (time of the last popped event).
+        pub fn clock(&self) -> u64 {
+            self.clock
+        }
+
+        /// Schedules `payload` at `time` (must be `>= clock()`).
+        pub fn push(&mut self, time: u64, payload: u64) {
+            assert!(time >= self.clock, "event scheduled in the past");
+            self.seq += 1;
+            self.q.push(
+                self.clock,
+                time,
+                self.seq,
+                Event::IssueOp {
+                    core: payload as usize,
+                },
+            );
+        }
+
+        /// Pops the earliest event, advancing the clock to its time.
+        pub fn pop(&mut self) -> Option<(u64, u64)> {
+            let (time, _seq, ev) = self.q.pop(self.clock)?;
+            self.clock = time;
+            let Event::IssueOp { core } = ev else {
+                unreachable!("probe only pushes IssueOp events");
+            };
+            Some((time, core as u64))
         }
     }
 }

@@ -41,6 +41,9 @@ pub struct Stats {
     pub tx_aborts_explicit: u64,
     /// Spurious (interrupt-like) aborts injected by configuration.
     pub tx_aborts_spurious: u64,
+    /// Aborts from exceeding the modelled transactional capacity
+    /// (`MachineConfig::tx_capacity_lines`).
+    pub tx_aborts_capacity: u64,
     /// Coherence messages stalled at a cache because of a pending request
     /// or an executing RMW.
     pub stalls: u64,
@@ -90,7 +93,10 @@ impl Stats {
 
     /// Total aborts of all causes.
     pub fn tx_aborts(&self) -> u64 {
-        self.tx_aborts_conflict + self.tx_aborts_explicit + self.tx_aborts_spurious
+        self.tx_aborts_conflict
+            + self.tx_aborts_explicit
+            + self.tx_aborts_spurious
+            + self.tx_aborts_capacity
     }
 }
 

@@ -13,6 +13,10 @@ pub const CONFLICT: u32 = 1 << 2;
 /// Abort status bit: spurious abort (interrupt-like; neither explicit nor a
 /// conflict).
 pub const SPURIOUS: u32 = 1 << 3;
+/// Abort status bit: the transaction's footprint exceeded the modelled
+/// transactional capacity (`MachineConfig::tx_capacity_lines`). Mirrors
+/// RTM's `_XABORT_CAPACITY`.
+pub const CAPACITY: u32 = 1 << 4;
 /// Abort status bit: the abort occurred while a *nested* transaction was
 /// running. TxCAS uses this to learn that the CAS write step had not yet
 /// executed.
@@ -41,6 +45,11 @@ pub fn is_conflict(status: u32) -> bool {
 /// True if the abort happened inside a nested transaction.
 pub fn is_nested(status: u32) -> bool {
     status & NESTED != 0
+}
+
+/// True if the status word reports a capacity abort.
+pub fn is_capacity(status: u32) -> bool {
+    status & CAPACITY != 0
 }
 
 /// An in-flight abort, unwound through transaction bodies with `?`.

@@ -230,3 +230,90 @@ fn schedulers_agree_with_each_other() {
         );
     }
 }
+
+/// The fixture under a randomized machine configuration derived from
+/// `seed`, with every RNG-consuming fault knob live: delay jitter,
+/// spurious aborts, scheduler perturbation, and a transactional capacity
+/// limit. Cross-scheduler bit-identity must survive all of them, because
+/// the shared-`Sim` RNG is consumed in submit order — which both
+/// schedulers produce identically.
+fn randomized_faulty_workload_on(seed: u64, os_threads: bool) -> RunReport {
+    let mut rng = simrng::SimRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd1f7);
+    let cores = rng.gen_range_inclusive(2, 6) as usize;
+    let dual = rng.gen_bool(0.4);
+    let mut cfg = if dual {
+        MachineConfig::dual_socket(cores.div_ceil(2))
+    } else {
+        MachineConfig::single_socket(cores)
+    };
+    cfg.delay_jitter_pct = rng.gen_range_inclusive(0, 80);
+    cfg.spurious_abort_prob = rng.gen_range_inclusive(0, 200_000) as f64 / 1e6;
+    cfg.sched_perturb = rng.gen_range_inclusive(0, 500);
+    // Capacity 0 = unbounded; small limits abort the fixture's 2-line
+    // transaction, exercising the retry-then-give-up path.
+    cfg.tx_capacity_lines = if rng.gen_bool(0.3) {
+        rng.gen_range_inclusive(1, 8) as usize
+    } else {
+        0
+    };
+    cfg.microarch_fix = rng.gen_bool(0.5);
+    cfg.seed = rng.next_u64();
+    cfg.os_thread_scheduler = os_threads;
+
+    let shared = Arc::new(AtomicU64::new(0));
+    let programs: Vec<Program> = (0..cores)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            Box::new(move |ctx: &mut SimCtx| {
+                let base = shared.load(SeqCst);
+                for _ in 0..20 {
+                    ctx.faa(base, 1);
+                }
+                ctx.barrier();
+                let mut tries = 0;
+                loop {
+                    tries += 1;
+                    let r = (|| -> coherence::TxResult<()> {
+                        ctx.tx_begin()?;
+                        let v = ctx.tx_read(base + 1 + (i as u64 % 3))?;
+                        ctx.tx_delay(10)?;
+                        ctx.tx_write(base + 4, v + 1)?;
+                        ctx.tx_end()?;
+                        Ok(())
+                    })();
+                    if r.is_ok() || tries > 6 {
+                        break;
+                    }
+                }
+                let _ = ctx.swap(base + 5, i as u64);
+            }) as Program
+        })
+        .collect();
+    let s2 = Arc::clone(&shared);
+    Machine::new(cfg).run(
+        Box::new(move |ctx| {
+            let a = ctx.alloc(8);
+            for k in 0..8 {
+                ctx.write(a + k, k);
+            }
+            s2.store(a, SeqCst);
+        }),
+        programs,
+    )
+}
+
+/// Differential fuzz across schedulers: 32 random seeds, all fault knobs
+/// active, fiber vs OS-thread fingerprints must be identical — the
+/// simfuzz harness depends on this to make its artifacts
+/// scheduler-independent.
+#[test]
+fn schedulers_agree_on_randomized_fault_injection_workloads() {
+    for seed in 0..32u64 {
+        let fibers = fingerprint(&randomized_faulty_workload_on(seed, false));
+        let threads = fingerprint(&randomized_faulty_workload_on(seed, true));
+        assert_eq!(
+            fibers, threads,
+            "fiber and OS-thread schedulers diverged at fault seed {seed}"
+        );
+    }
+}

@@ -21,6 +21,14 @@
 //! the presence of overlapping intervals (a racy-but-legal history is
 //! never flagged).
 //!
+//! [`check_queue_linearizable`] layers a Wing & Gong-style explicit
+//! linearization search on top of the pattern pass, making the check
+//! *complete* for FIFO histories (up to a node budget): if no legal
+//! linearization exists, the search reports [`Violation::NoLinearization`]
+//! even when none of the four named patterns matches. On violation,
+//! [`shrink_history`] minimizes the history while preserving the
+//! violation kind — the fuzzer's counterexample reducer.
+//!
 //! Timestamps are arbitrary `u64`s; the only requirement is that for any
 //! two events where one *returns before the other is invoked*, the
 //! recorded numbers reflect it. A shared atomic counter (native runs) or
@@ -66,6 +74,10 @@ pub enum Violation {
     /// Malformed history (duplicate enqueue value, interval with
     /// `ret < invoke`, ...): the *recording* is broken, not the queue.
     Malformed { reason: String },
+    /// The exhaustive linearization search proved that no legal
+    /// sequential FIFO order of the history exists, although none of the
+    /// four named patterns matched on its own.
+    NoLinearization,
 }
 
 impl std::fmt::Display for Violation {
@@ -85,6 +97,9 @@ impl std::fmt::Display for Violation {
                 "VWit: thread {deq_thread} saw empty while {witness} was enqueued and undequeued"
             ),
             Violation::Malformed { reason } => write!(f, "malformed history: {reason}"),
+            Violation::NoLinearization => {
+                write!(f, "no legal linearization of the history exists")
+            }
         }
     }
 }
@@ -194,6 +209,221 @@ pub fn check_queue_history(events: &[Event]) -> Result<(), Violation> {
     }
 
     Ok(())
+}
+
+/// Node budget for the default linearization search. At ~`O(n)` work per
+/// node this keeps a single check well under a millisecond-scale bound;
+/// the fuzzer's histories (a few hundred events) stay far below it in
+/// practice because the exact-state memo collapses the search space.
+pub const DEFAULT_SEARCH_BUDGET: usize = 200_000;
+
+/// Outcome of the explicit linearization search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchResult {
+    /// A legal sequential FIFO order exists.
+    Linearizable,
+    /// The whole search space was exhausted without finding one.
+    NoLinearization,
+    /// The node budget ran out first — the search is inconclusive and
+    /// callers treat it as a (conservative) pass.
+    BudgetExhausted,
+}
+
+/// Undo record for one applied operation in the search.
+enum Applied {
+    PushedBack,
+    PoppedFront(u64),
+    Nothing,
+}
+
+/// Wing & Gong-style DFS over linearization orders of a FIFO history.
+///
+/// At each step the candidates are the *minimal* remaining operations —
+/// those whose invocation precedes every remaining operation's return
+/// (no remaining op finished strictly before they began, so they may
+/// legally take the next linearization point). A candidate is applied to
+/// the abstract `VecDeque` queue model and the search recurses; visited
+/// `(done-set, queue-contents)` states are memoized exactly, which makes
+/// revisits — and there are combinatorially many — O(1) rejections.
+struct Search<'a> {
+    ev: &'a [Event],
+    done: Vec<bool>,
+    ndone: usize,
+    queue: std::collections::VecDeque<u64>,
+    seen: std::collections::HashSet<(Vec<u64>, Vec<u64>)>,
+    nodes: usize,
+    budget: usize,
+}
+
+impl Search<'_> {
+    /// Exact state key: done-set bitmap plus the queue contents. Both are
+    /// needed — two different done-sets can leave the same queue and vice
+    /// versa — and the key must be exact (not a hash digest) so the memo
+    /// can never wrongly prune a live branch into a false
+    /// `NoLinearization`.
+    fn key(&self) -> (Vec<u64>, Vec<u64>) {
+        let mut words = vec![0u64; self.done.len().div_ceil(64)];
+        for (i, &d) in self.done.iter().enumerate() {
+            if d {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        (words, self.queue.iter().copied().collect())
+    }
+
+    /// Applies operation `i` to the queue model, or `None` if illegal in
+    /// the current state.
+    fn apply(&mut self, i: usize) -> Option<Applied> {
+        match self.ev[i].op {
+            Op::Enq(v) => {
+                self.queue.push_back(v);
+                Some(Applied::PushedBack)
+            }
+            Op::DeqSome(v) => {
+                if self.queue.front() == Some(&v) {
+                    self.queue.pop_front();
+                    Some(Applied::PoppedFront(v))
+                } else {
+                    None
+                }
+            }
+            Op::DeqNull => {
+                if self.queue.is_empty() {
+                    Some(Applied::Nothing)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn unapply(&mut self, a: Applied) {
+        match a {
+            Applied::PushedBack => {
+                self.queue.pop_back();
+            }
+            Applied::PoppedFront(v) => self.queue.push_front(v),
+            Applied::Nothing => {}
+        }
+    }
+
+    fn dfs(&mut self) -> SearchResult {
+        if self.ndone == self.ev.len() {
+            return SearchResult::Linearizable;
+        }
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return SearchResult::BudgetExhausted;
+        }
+        if !self.seen.insert(self.key()) {
+            // Already explored from this state and found nothing.
+            return SearchResult::NoLinearization;
+        }
+        // An op may linearize next iff no remaining op returned strictly
+        // before its invocation — equivalently its invocation is at or
+        // before the minimum remaining return time.
+        let min_ret = self
+            .ev
+            .iter()
+            .zip(&self.done)
+            .filter(|&(_, &d)| !d)
+            .map(|(e, _)| e.ret)
+            .min()
+            .expect("ndone < len");
+        for i in 0..self.ev.len() {
+            if self.done[i] || self.ev[i].invoke > min_ret {
+                continue;
+            }
+            let Some(undo) = self.apply(i) else { continue };
+            self.done[i] = true;
+            self.ndone += 1;
+            let r = self.dfs();
+            self.done[i] = false;
+            self.ndone -= 1;
+            self.unapply(undo);
+            if r != SearchResult::NoLinearization {
+                return r; // found one, or ran out of budget
+            }
+        }
+        SearchResult::NoLinearization
+    }
+}
+
+fn search_linearization(events: &[Event], budget: usize) -> SearchResult {
+    if events.is_empty() {
+        return SearchResult::Linearizable;
+    }
+    Search {
+        ev: events,
+        done: vec![false; events.len()],
+        ndone: 0,
+        queue: std::collections::VecDeque::new(),
+        seen: std::collections::HashSet::new(),
+        nodes: 0,
+        budget,
+    }
+    .dfs()
+}
+
+/// Complete linearizability check with an explicit node budget (see
+/// [`check_queue_linearizable`]).
+pub fn check_queue_linearizable_budgeted(events: &[Event], budget: usize) -> Result<(), Violation> {
+    // The pattern pass runs first so violations it can name keep their
+    // precise kind (and it is the cheaper check); the search then covers
+    // everything the patterns provably cannot express alone.
+    check_queue_history(events)?;
+    match search_linearization(events, budget) {
+        SearchResult::NoLinearization => Err(Violation::NoLinearization),
+        SearchResult::Linearizable | SearchResult::BudgetExhausted => Ok(()),
+    }
+}
+
+/// Complete linearizability check: the aspect pattern pass (precise
+/// violation kinds, always sound) followed by a Wing & Gong-style
+/// explicit search for a legal linearization order. The search makes the
+/// combined check complete for FIFO histories — any history it accepts
+/// within [`DEFAULT_SEARCH_BUDGET`] nodes really is linearizable, and
+/// any unlinearizable history is rejected (with the matching aspect kind
+/// when one applies, [`Violation::NoLinearization`] otherwise).
+pub fn check_queue_linearizable(events: &[Event]) -> Result<(), Violation> {
+    check_queue_linearizable_budgeted(events, DEFAULT_SEARCH_BUDGET)
+}
+
+/// Node budget per candidate during shrinking: each removal probe re-runs
+/// the full check, so individual probes get a smaller search allowance.
+const SHRINK_SEARCH_BUDGET: usize = 50_000;
+
+/// Minimizes a failing history: greedily removes events, keeping a
+/// removal only if the checker still reports a violation of the *same
+/// kind* (enum discriminant), and repeats to a fixpoint. Returns the
+/// minimized history and its violation, or `None` if the input history
+/// passes the checker. The result is 1-minimal: removing any single
+/// further event changes or clears the verdict.
+pub fn shrink_history(events: &[Event]) -> Option<(Vec<Event>, Violation)> {
+    let first = check_queue_linearizable_budgeted(events, SHRINK_SEARCH_BUDGET).err()?;
+    let kind = std::mem::discriminant(&first);
+    let mut cur = events.to_vec();
+    let mut violation = first;
+    loop {
+        let mut progressed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            match check_queue_linearizable_budgeted(&cand, SHRINK_SEARCH_BUDGET) {
+                Err(v) if std::mem::discriminant(&v) == kind => {
+                    cur = cand;
+                    violation = v;
+                    progressed = true;
+                    // Do not advance: the element now at `i` is unprobed.
+                }
+                _ => i += 1,
+            }
+        }
+        if !progressed {
+            return Some((cur, violation));
+        }
+    }
 }
 
 /// Convenience recorder: collects events with timestamps from a shared
@@ -388,6 +618,127 @@ mod tests {
     }
 
     #[test]
+    fn search_accepts_valid_histories() {
+        let histories: Vec<Vec<Event>> = vec![
+            vec![],
+            vec![
+                ev(0, Op::Enq(1), 0, 1),
+                ev(0, Op::Enq(2), 2, 3),
+                ev(0, Op::DeqSome(1), 4, 5),
+                ev(0, Op::DeqSome(2), 6, 7),
+                ev(0, Op::DeqNull, 8, 9),
+            ],
+            // Overlapping enqueues: either linearization order works.
+            vec![
+                ev(0, Op::Enq(1), 0, 10),
+                ev(1, Op::Enq(2), 0, 10),
+                ev(2, Op::DeqSome(2), 11, 12),
+                ev(2, Op::DeqSome(1), 13, 14),
+            ],
+            // Null concurrent with the removing dequeue.
+            vec![
+                ev(0, Op::Enq(1), 0, 1),
+                ev(1, Op::DeqSome(1), 2, 10),
+                ev(2, Op::DeqNull, 3, 9),
+            ],
+        ];
+        for h in &histories {
+            assert_eq!(
+                search_linearization(h, DEFAULT_SEARCH_BUDGET),
+                SearchResult::Linearizable
+            );
+            assert_eq!(check_queue_linearizable(h), Ok(()));
+        }
+    }
+
+    /// The search is an independent implementation: it must reject the
+    /// pattern-check's violation histories on its own (no legal order of
+    /// the queue model exists), not just defer to the pattern pass.
+    #[test]
+    fn search_independently_rejects_violations() {
+        let histories: Vec<Vec<Event>> = vec![
+            // FIFO inversion with strictly ordered dequeues.
+            vec![
+                ev(0, Op::Enq(1), 0, 1),
+                ev(0, Op::Enq(2), 2, 3),
+                ev(1, Op::DeqSome(2), 4, 5),
+                ev(1, Op::DeqSome(1), 6, 7),
+            ],
+            // Value dequeued twice.
+            vec![
+                ev(0, Op::Enq(1), 0, 1),
+                ev(0, Op::DeqSome(1), 2, 3),
+                ev(1, Op::DeqSome(1), 4, 5),
+            ],
+            // Value never enqueued.
+            vec![ev(0, Op::DeqSome(9), 0, 1)],
+            // Empty dequeue in a non-empty window.
+            vec![
+                ev(0, Op::Enq(1), 0, 1),
+                ev(1, Op::DeqNull, 2, 3),
+                ev(2, Op::DeqSome(1), 4, 5),
+            ],
+        ];
+        for h in &histories {
+            assert_eq!(
+                search_linearization(h, DEFAULT_SEARCH_BUDGET),
+                SearchResult::NoLinearization
+            );
+            assert!(check_queue_linearizable(h).is_err());
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_conservative_pass() {
+        // Many mutually overlapping enqueues force a wide search frontier;
+        // with a one-node budget the search must give up, not misreport.
+        let mut h: Vec<Event> = (0..12).map(|i| ev(i, Op::Enq(i as u64), 0, 100)).collect();
+        for i in 0..12 {
+            h.push(ev(i, Op::DeqSome(i as u64), 101, 110));
+        }
+        assert_eq!(search_linearization(&h, 1), SearchResult::BudgetExhausted);
+        assert_eq!(check_queue_linearizable_budgeted(&h, 1), Ok(()));
+    }
+
+    #[test]
+    fn shrink_returns_none_on_valid_history() {
+        let h = vec![ev(0, Op::Enq(1), 0, 1), ev(0, Op::DeqSome(1), 2, 3)];
+        assert!(shrink_history(&h).is_none());
+    }
+
+    #[test]
+    fn shrink_minimizes_and_preserves_kind() {
+        // A long valid prefix followed by a duplicated dequeue.
+        let mut h = Vec::new();
+        let mut t = 0;
+        for v in 1..=20u64 {
+            h.push(ev(0, Op::Enq(v), t, t + 1));
+            t += 2;
+        }
+        for v in 1..=20u64 {
+            h.push(ev(0, Op::DeqSome(v), t, t + 1));
+            t += 2;
+        }
+        h.push(ev(1, Op::DeqSome(7), t, t + 1));
+        let (min, v) = shrink_history(&h).expect("history must fail");
+        assert_eq!(v, Violation::Repeat { value: 7 });
+        // 1-minimal: two dequeues of 7 are all it takes (the enqueue is
+        // not needed for VRepeat).
+        assert_eq!(min.len(), 2);
+        for i in 0..min.len() {
+            let mut sub = min.clone();
+            sub.remove(i);
+            assert!(
+                !matches!(
+                    check_queue_linearizable(&sub),
+                    Err(Violation::Repeat { .. })
+                ),
+                "shrunk history is not 1-minimal"
+            );
+        }
+    }
+
+    #[test]
     fn recorder_merge_collects_everything() {
         let mut r1 = Recorder::new();
         let mut r2 = Recorder::new();
@@ -451,6 +802,44 @@ mod proptests {
             let ops: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
             let h = valid_history(ops);
             assert_eq!(check_queue_history(&h), Ok(()));
+        }
+    }
+
+    /// Random linearizable *concurrent* histories: execute a sequential
+    /// queue at increasing linearization points, then widen every
+    /// operation's interval around its point. By construction a legal
+    /// order exists, so the full checker (patterns + search) must accept
+    /// every history despite the overlapping intervals.
+    #[test]
+    fn accepts_randomized_concurrent_linearizable_histories() {
+        let mut rng = SimRng::seed_from_u64(0x77aa);
+        for round in 0..64 {
+            let n = 4 + rng.gen_usize(40);
+            let mut q = std::collections::VecDeque::new();
+            let mut next_v = 1u64;
+            let mut h = Vec::new();
+            for k in 0..n {
+                let lp = (k as u64 + 1) * 10;
+                let invoke = lp - rng.gen_range_inclusive(0, 9);
+                let ret = lp + rng.gen_range_inclusive(0, 9);
+                let op = if rng.gen_bool(0.5) {
+                    q.push_back(next_v);
+                    next_v += 1;
+                    Op::Enq(next_v - 1)
+                } else {
+                    match q.pop_front() {
+                        Some(v) => Op::DeqSome(v),
+                        None => Op::DeqNull,
+                    }
+                };
+                h.push(Event {
+                    thread: k % 4,
+                    op,
+                    invoke,
+                    ret,
+                });
+            }
+            assert_eq!(check_queue_linearizable(&h), Ok(()), "round {round}");
         }
     }
 

@@ -1,0 +1,149 @@
+//! # simfuzz — deterministic schedule-exploration fuzzer
+//!
+//! Randomized concurrent-queue workloads on the coherence simulator,
+//! with fault injection, full linearizability checking, and shrinking of
+//! failures to replayable text artifacts.
+//!
+//! One **seed** determines one run completely ([`FuzzPlan::derive`]):
+//! the queue under test (rotating over every implementation in the
+//! tree), thread count, per-thread op streams, and the perturbation
+//! knobs — spurious-abort probability, transactional capacity limit,
+//! delay-jitter extremes, scheduler-choice perturbation, topology, and
+//! the §3.4.1 microarchitectural fix. The run records every operation
+//! through [`linearize::Recorder`] and checks the merged history with
+//! the complete (pattern + Wing&Gong search) checker.
+//!
+//! On violation, [`shrink_plan`] greedily minimizes the plan (fewer ops,
+//! fewer threads, fewer fault knobs) while preserving the violation
+//! kind, minimizes the witness history event-by-event, and the campaign
+//! driver writes a `fuzz-artifacts/<queue>-seed<n>.repro` file that
+//! `simctl fuzz --repro` replays bit-exactly.
+
+pub mod artifact;
+pub mod plan;
+pub mod run;
+pub mod shrink;
+pub mod simq;
+
+pub use artifact::{
+    parse_artifact, read_artifact, render_artifact, write_artifact, Artifact, ARTIFACT_VERSION,
+};
+pub use plan::{FuzzPlan, FUZZ_QUEUES};
+pub use run::{run_plan, RunOutcome};
+pub use shrink::{shrink_plan, ShrinkOutcome, DEFAULT_SHRINK_BUDGET};
+
+use linearize::Violation;
+use simq::QueueKind;
+use std::path::{Path, PathBuf};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of consecutive seeds to run.
+    pub seeds: u64,
+    /// First seed.
+    pub start_seed: u64,
+    /// Pin every run to one queue instead of rotating over
+    /// [`FUZZ_QUEUES`].
+    pub queue: Option<QueueKind>,
+    /// Where to write reproducer artifacts for failures; `None` skips
+    /// writing (failures are still shrunk and reported).
+    pub artifacts_dir: Option<PathBuf>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seeds: 64,
+            start_seed: 0,
+            queue: None,
+            artifacts_dir: Some(PathBuf::from("fuzz-artifacts")),
+        }
+    }
+}
+
+/// One shrunk, recorded failure.
+#[derive(Debug)]
+pub struct CampaignFailure {
+    /// The seed whose derived plan failed.
+    pub seed: u64,
+    /// The *minimized* reproducer (not the original derived plan).
+    pub shrunk: ShrinkOutcome,
+    /// Artifact path, if an artifacts dir was configured and the write
+    /// succeeded.
+    pub artifact: Option<PathBuf>,
+}
+
+/// Campaign result.
+#[derive(Debug, Default)]
+pub struct CampaignReport {
+    /// Seeds run.
+    pub runs: u64,
+    /// Failures, shrunk; empty means the campaign was clean.
+    pub failures: Vec<CampaignFailure>,
+}
+
+/// Runs `cfg.seeds` consecutive plans; shrinks every failure and writes
+/// its reproducer artifact. `progress` is called after each seed with
+/// `(seed, queue name, violation if any)` — pass `|_, _, _| {}` when
+/// silence is wanted.
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    mut progress: impl FnMut(u64, &'static str, Option<&Violation>),
+) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+        let plan = FuzzPlan::derive(seed, cfg.queue);
+        let out = run_plan(&plan);
+        report.runs += 1;
+        progress(seed, plan.queue.name(), out.violation.as_ref());
+        if out.violation.is_none() {
+            continue;
+        }
+        // Re-running inside shrink_plan is deterministic, so the
+        // confirmed violation is the one we just saw.
+        let shrunk = shrink_plan(&plan, DEFAULT_SHRINK_BUDGET)
+            .expect("deterministic rerun of a failing plan must fail again");
+        let artifact = cfg.artifacts_dir.as_deref().and_then(|dir| {
+            write_artifact(dir, &shrunk.plan, &shrunk.violation, &shrunk.witness).ok()
+        });
+        report.failures.push(CampaignFailure {
+            seed,
+            shrunk,
+            artifact,
+        });
+    }
+    report
+}
+
+/// Result of replaying an artifact.
+#[derive(Debug)]
+pub struct ReproOutcome {
+    /// The plan that was replayed.
+    pub plan: FuzzPlan,
+    /// Violation kind token recorded in the artifact.
+    pub expected: String,
+    /// What the replay actually produced.
+    pub violation: Option<Violation>,
+    /// True iff the replay produced a violation of the recorded kind.
+    pub reproduced: bool,
+    /// Replay fingerprint (for determinism checks across replays).
+    pub fingerprint: String,
+}
+
+/// Replays a reproducer artifact and checks it still fails the same way.
+pub fn reproduce(path: &Path) -> Result<ReproOutcome, String> {
+    let art = read_artifact(path)?;
+    let out = run_plan(&art.plan);
+    let reproduced = out
+        .violation
+        .as_ref()
+        .is_some_and(|v| artifact::violation_token(v) == art.violation);
+    Ok(ReproOutcome {
+        plan: art.plan,
+        expected: art.violation,
+        violation: out.violation,
+        reproduced,
+        fingerprint: out.fingerprint,
+    })
+}

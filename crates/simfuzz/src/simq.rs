@@ -302,6 +302,8 @@ impl SimQueue for MsSim {
 pub enum QueueKind {
     SbqHtm,
     SbqCas,
+    /// The experimental striped-basket SBQ (§8 future work).
+    SbqStriped,
     BqOriginal,
     WfQueue,
     CcQueue,
@@ -323,6 +325,7 @@ impl QueueKind {
         match self {
             QueueKind::SbqHtm => SbqHtmSim::NAME,
             QueueKind::SbqCas => SbqCasSim::NAME,
+            QueueKind::SbqStriped => SbqStripedSim::NAME,
             QueueKind::BqOriginal => BqOriginalSim::NAME,
             QueueKind::WfQueue => WfSim::NAME,
             QueueKind::CcQueue => CcSim::NAME,
@@ -336,6 +339,7 @@ impl QueueKind {
         Some(match k.as_str() {
             "sbqhtm" | "sbq" => QueueKind::SbqHtm,
             "sbqcas" => QueueKind::SbqCas,
+            "sbqstriped" | "striped" => QueueKind::SbqStriped,
             "bqoriginal" | "bq" => QueueKind::BqOriginal,
             "wfqueue" | "wf" => QueueKind::WfQueue,
             "ccqueue" | "cc" => QueueKind::CcQueue,

@@ -1,0 +1,99 @@
+//! End-to-end self-test of the harness against a known defect: with the
+//! `planted-bug` feature, the MS-queue dequeue treats a lost head-swing
+//! CAS as a win, so two contending dequeuers can return the same value
+//! (a `Repeat` violation). The harness must find it, shrink it to a
+//! minimal plan, write a reproducer artifact, and replay it
+//! deterministically.
+//!
+//! Gated on the feature so a default-features build compiles this file
+//! to nothing; run with
+//! `cargo test -p simfuzz --features planted-bug --release`.
+#![cfg(feature = "planted-bug")]
+
+use linearize::Violation;
+use simfuzz::simq::QueueKind;
+use simfuzz::{reproduce, run_campaign, run_plan, CampaignConfig, FuzzPlan};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("simfuzz-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn campaign_finds_shrinks_and_replays_the_planted_bug() {
+    let dir = temp_dir("planted");
+    let cfg = CampaignConfig {
+        seeds: 64,
+        start_seed: 0,
+        queue: Some(QueueKind::MsQueue),
+        artifacts_dir: Some(dir.clone()),
+    };
+    let report = run_campaign(&cfg, |_, _, _| {});
+    assert!(
+        !report.failures.is_empty(),
+        "64 seeds over the planted bug found nothing"
+    );
+
+    let f = &report.failures[0];
+    assert!(
+        matches!(f.shrunk.violation, Violation::Repeat { .. }),
+        "planted bug is a duplicated dequeue, got {:?}",
+        f.shrunk.violation
+    );
+
+    // The shrunk plan is itself a reproducer...
+    let rerun = run_plan(&f.shrunk.plan);
+    assert!(
+        matches!(rerun.violation, Some(Violation::Repeat { .. })),
+        "shrunk plan no longer fails: {:?}",
+        rerun.violation
+    );
+    // ...and it is 1-minimal along the shrink dimensions: growing was
+    // never tried, but every single-step reduction must have been either
+    // tried-and-rejected or out of range. Spot-check the two workload
+    // dimensions.
+    if f.shrunk.plan.ops_per_thread > 1 {
+        let mut smaller = f.shrunk.plan.clone();
+        smaller.ops_per_thread -= 1;
+        let out = run_plan(&smaller);
+        assert!(
+            !matches!(out.violation, Some(Violation::Repeat { .. })),
+            "shrink missed a smaller op count"
+        );
+    }
+    if f.shrunk.plan.threads > 2 {
+        let mut smaller = f.shrunk.plan.clone();
+        smaller.threads -= 1;
+        let out = run_plan(&smaller);
+        assert!(
+            !matches!(out.violation, Some(Violation::Repeat { .. })),
+            "shrink missed a smaller thread count"
+        );
+    }
+    // The minimized witness actually exhibits the duplicate.
+    assert!(f.shrunk.witness.len() >= 2);
+
+    // The artifact replays to the same violation kind, bit-identically.
+    let path = f.artifact.as_ref().expect("artifact written");
+    let r1 = reproduce(path).expect("replay");
+    let r2 = reproduce(path).expect("replay");
+    assert!(
+        r1.reproduced,
+        "replay did not reproduce: {:?}",
+        r1.violation
+    );
+    assert_eq!(r1.fingerprint, r2.fingerprint);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pristine_queues_stay_clean_even_with_the_feature_on() {
+    // The feature touches only the MS queue; the SBQ variants must still
+    // pass, proving the harness's signal comes from the planted defect
+    // and not from fault injection itself.
+    for seed in 0..4 {
+        let plan = FuzzPlan::derive(seed, Some(QueueKind::SbqHtm));
+        assert_eq!(run_plan(&plan).violation, None, "seed {seed}");
+    }
+}
