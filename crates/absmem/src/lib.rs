@@ -67,6 +67,16 @@ pub trait ThreadCtx {
     /// converted). Only meaningful for measurement, never for algorithm
     /// logic.
     fn now(&self) -> u64;
+
+    /// Blocks until every thread of the run has reached a barrier; used by
+    /// phased workloads (pre-fill, then measure; operate, then drain). The
+    /// simulator resumes all participants at the same simulated instant;
+    /// the native backend uses an OS barrier shared by the thread group.
+    /// Panics on a context that was created without a thread group (e.g. a
+    /// solo bootstrap context on a group of one is fine; a bare
+    /// `NativeHeap::ctx` handle is not). Do not mix barriers with threads
+    /// that finish before reaching them.
+    fn barrier(&mut self);
 }
 
 /// How a queue's contended tail CAS is performed. The paper evaluates three

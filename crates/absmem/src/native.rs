@@ -5,12 +5,61 @@
 use crate::{Addr, ThreadCtx};
 use simalloc::{ThreadCache, WordPool};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier, OnceLock};
 use std::time::Instant;
 
 /// Nominal clock used to convert between cycles and nanoseconds: the
 /// evaluation machine's Xeon E5-2699 v4 base clock.
 pub const GHZ: f64 = 2.2;
+
+/// Converts a cycle count at the nominal [`GHZ`] clock to nanoseconds.
+#[inline]
+pub fn cycles_to_ns(cycles: u64) -> u64 {
+    (cycles as f64 / GHZ) as u64
+}
+
+/// Measured spin-loop iterations per microsecond, calibrated once per
+/// process. Used to realize delays too short for `Instant` polling
+/// (granularity is tens of ns) as a counted spin instead of a guess.
+fn spins_per_us() -> u64 {
+    static CAL: OnceLock<u64> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        // Time a fixed spin batch against the monotonic clock; repeat and
+        // keep the fastest (least-preempted) sample.
+        const BATCH: u64 = 200_000;
+        let mut best_ns = u64::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for _ in 0..BATCH {
+                std::hint::spin_loop();
+            }
+            best_ns = best_ns.min(t0.elapsed().as_nanos() as u64);
+        }
+        (BATCH * 1_000 / best_ns.max(1)).max(1)
+    })
+}
+
+/// Busy-waits for `cycles` cycles at the nominal [`GHZ`] clock — the
+/// calibrated realization of [`ThreadCtx::delay`] on real hardware,
+/// shared so harness code can reproduce algorithm delays exactly.
+/// Delays under ~40 ns use the counted spin calibration (`Instant`
+/// polling would round them to its own granularity); longer delays poll
+/// the monotonic clock.
+pub fn busy_wait_cycles(cycles: u64) {
+    let target_ns = cycles as f64 / GHZ;
+    if target_ns < 40.0 {
+        let spins = (target_ns * spins_per_us() as f64 / 1_000.0) as u64;
+        for _ in 0..spins.max(1) {
+            std::hint::spin_loop();
+        }
+        return;
+    }
+    let target_ns = target_ns as u64;
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < target_ns {
+        std::hint::spin_loop();
+    }
+}
 
 /// A fixed-capacity native heap of 64-bit words shared by all threads.
 pub struct NativeHeap {
@@ -32,12 +81,16 @@ impl NativeHeap {
         }
     }
 
-    /// Creates the per-thread context for thread `tid`.
+    /// Creates the per-thread context for thread `tid`. The context has no
+    /// thread group: [`ThreadCtx::barrier`] panics on it. Use
+    /// [`run_threads`] (or attach one with [`NativeCtx::with_barrier`]) for
+    /// phased multi-thread workloads.
     pub fn ctx(self: &Arc<Self>, tid: usize) -> NativeCtx {
         NativeCtx {
             heap: Arc::clone(self),
             tid,
             cache: self.pool.thread_cache(),
+            barrier: None,
         }
     }
 
@@ -58,6 +111,19 @@ pub struct NativeCtx {
     heap: Arc<NativeHeap>,
     tid: usize,
     cache: ThreadCache,
+    /// The thread group's rendezvous, shared by every context of one run;
+    /// `None` for standalone contexts, whose `barrier()` panics.
+    barrier: Option<Arc<Barrier>>,
+}
+
+impl NativeCtx {
+    /// Attaches this context to a thread group's barrier (sized to the
+    /// number of participating threads). All contexts that will
+    /// rendezvous must share one `Arc<Barrier>`.
+    pub fn with_barrier(mut self, barrier: Arc<Barrier>) -> NativeCtx {
+        self.barrier = Some(barrier);
+        self
+    }
 }
 
 impl ThreadCtx for NativeCtx {
@@ -95,20 +161,7 @@ impl ThreadCtx for NativeCtx {
     }
 
     fn delay(&mut self, cycles: u64) {
-        // Busy-wait for cycles/GHZ nanoseconds. `Instant` granularity is
-        // tens of ns, which is adequate for the ≥50-cycle delays the
-        // algorithms use; shorter delays degrade to a handful of spin hints.
-        let target_ns = (cycles as f64 / GHZ) as u64;
-        if target_ns < 40 {
-            for _ in 0..cycles {
-                std::hint::spin_loop();
-            }
-            return;
-        }
-        let start = Instant::now();
-        while (start.elapsed().as_nanos() as u64) < target_ns {
-            std::hint::spin_loop();
-        }
+        busy_wait_cycles(cycles)
     }
 
     fn alloc(&mut self, words: usize) -> Addr {
@@ -127,20 +180,32 @@ impl ThreadCtx for NativeCtx {
     fn now(&self) -> u64 {
         (self.heap.epoch.elapsed().as_nanos() as f64 * GHZ) as u64
     }
+
+    fn barrier(&mut self) {
+        self.barrier
+            .as_ref()
+            .expect(
+                "barrier() on a native context without a thread group: \
+                 use run_threads or NativeCtx::with_barrier",
+            )
+            .wait();
+    }
 }
 
 /// Runs `nthreads` closures concurrently, each with its own [`NativeCtx`],
-/// and returns their results in thread-id order. The closure receives
-/// `(ctx, tid)`.
+/// and returns their results in thread-id order. The contexts share a
+/// barrier sized to the group, so the closures may use
+/// [`ThreadCtx::barrier`] for phased workloads.
 pub fn run_threads<R: Send>(
     heap: &Arc<NativeHeap>,
     nthreads: usize,
     f: impl Fn(&mut NativeCtx) -> R + Sync,
 ) -> Vec<R> {
+    let barrier = Arc::new(Barrier::new(nthreads));
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..nthreads)
             .map(|tid| {
-                let mut ctx = heap.ctx(tid);
+                let mut ctx = heap.ctx(tid).with_barrier(Arc::clone(&barrier));
                 let f = &f;
                 s.spawn(move || f(&mut ctx))
             })

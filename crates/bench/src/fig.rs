@@ -1,11 +1,11 @@
 //! Figure drivers: each regenerates one table/figure of the paper as TSV
 //! on stdout (see DESIGN.md §4 for the experiment index).
 
-use crate::simq::QueueKind;
 use crate::workload::{paper_workload, run_workload, Measurement, WorkloadKind};
 use crate::{env_u64, thread_counts};
 use absmem::ThreadCtx;
 use coherence::{cycles_to_ns, Machine, MachineConfig, Program, SimCtx, TraceEvent};
+use harness::QueueKind;
 use sbq::txcas::{txn_cas, TxCasParams, TxCasStats};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
@@ -447,15 +447,16 @@ pub fn ablate_basket() {
 /// (FAA-ticketed extraction) against the experimental striped basket on
 /// the consumer-only workload, where the FAA is the bottleneck (§5.3.4).
 pub fn ablate_deq() {
-    use crate::simq::{SbqHtmSim, SbqStripedSim};
     use crate::workload::run_generic;
+    use coherence::SimCtx;
+    use harness::{SbqHtmQ, SbqStripedQ};
     let ops = env_u64("SBQ_OPS", 150);
     println!("# Ablation (§8 future work): dequeue-side basket design, consumer-only workload");
     header(&["threads", "SBQ-basket[ns/op]", "Striped-basket[ns/op]"]);
     for &t in &thread_counts(&[2, 8, 16, 32, 44]) {
         let w = paper_workload(WorkloadKind::ConsumerOnly, t, ops);
-        let a = run_generic::<SbqHtmSim>(&w);
-        let b = run_generic::<SbqStripedSim>(&w);
+        let a = run_generic::<SbqHtmQ<SimCtx>>(&w);
+        let b = run_generic::<SbqStripedQ<SimCtx>>(&w);
         println!("{t}\t{:.1}\t{:.1}", a.latency_ns, b.latency_ns);
     }
 }

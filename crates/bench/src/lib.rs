@@ -2,12 +2,10 @@
 //!
 //! One module per concern:
 //!
-//! * [`simq`] — uniform adapters running every evaluated queue on the
-//!   coherence simulator (owned by the `simfuzz` crate, re-exported here
-//!   so benchmark code keeps its `bench::simq` paths);
 //! * [`workload`] — the paper's three workloads (§6.1): producer-only,
 //!   consumer-only (pre-filled), and mixed with producers and consumers on
-//!   separate sockets;
+//!   separate sockets — runnable on either `harness` backend (queue
+//!   adapters and execution live in the `harness` crate);
 //! * [`fig`] — drivers that print each figure's data series as TSV
 //!   (figure id → DESIGN.md §4 maps it to the paper).
 //!
@@ -18,7 +16,6 @@
 //! (comma-separated thread counts).
 
 pub mod fig;
-pub use simfuzz::simq;
 pub mod trace_render;
 pub mod wallbench;
 pub mod workload;

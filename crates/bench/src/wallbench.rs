@@ -19,10 +19,10 @@
 //! `baseline=FILE.tsv` (a previous `tsv-out=` capture) to embed a
 //! before/after comparison with per-point speedups.
 
-use crate::simq::QueueKind;
-use crate::workload::{paper_workload, run_workload, WorkloadKind};
+use crate::workload::{paper_workload, run_workload, run_workload_native, WorkloadKind};
 use absmem::ThreadCtx;
 use coherence::{Machine, MachineConfig, Program, SimCtx};
+use harness::QueueKind;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 use std::time::Instant;
@@ -120,6 +120,30 @@ pub fn run_points(scale: u64, reps: u32) -> Vec<WallPoint> {
     ));
 
     out
+}
+
+/// Native wall-clock series: every queue kind fills a queue from
+/// `threads` real OS threads, best-of-`reps` host time. Unlike the
+/// simulated points these measure the *queues themselves* on hardware
+/// atomics (no scheduler in the loop), so `ops_per_sec` here is real
+/// queue throughput, not simulation speed.
+pub fn native_points(scale: u64, reps: u32) -> Vec<WallPoint> {
+    let (threads, ops) = (4usize, 400 * scale);
+    QueueKind::ALL
+        .iter()
+        .map(|&kind| {
+            let w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
+            let wall = best_of(reps, || {
+                run_workload_native(kind, &w);
+            });
+            WallPoint::new(
+                &format!("native_{}", kind.name().to_lowercase().replace('-', "")),
+                threads,
+                threads as u64 * ops,
+                wall,
+            )
+        })
+        .collect()
 }
 
 /// TSV rendering — also the `baseline=` interchange format.

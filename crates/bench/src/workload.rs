@@ -1,16 +1,21 @@
-//! The paper's benchmark workloads (§6.1), driven on the coherence
-//! simulator.
+//! The paper's benchmark workloads (§6.1), runnable on **any**
+//! [`harness::Backend`] — the coherence simulator (the figures) or
+//! native atomics (wall-clock sanity series).
 //!
-//! Threads are "pinned" by the machine topology: program *i* runs on core
-//! *i*. For single-socket experiments all threads share socket 0; the
-//! mixed workload uses a dual-socket machine with producers on socket 0
-//! and consumers on socket 1, matching the paper's placement rule that
-//! all TxCASs of a location run on one processor (§4.3).
+//! On the simulator, threads are "pinned" by the machine topology:
+//! program *i* runs on core *i*. For single-socket experiments all
+//! threads share socket 0; the mixed workload uses a dual-socket machine
+//! with producers on socket 0 and consumers on socket 1, matching the
+//! paper's placement rule that all TxCASs of a location run on one
+//! processor (§4.3). On native the OS schedules threads freely and the
+//! machine config only sizes the run.
 
-use crate::simq::{BqOriginalSim, CcSim, MsSim, SbqCasSim, SbqHtmSim, SbqStripedSim, WfSim};
-use crate::simq::{QueueKind, QueueParams, SimQueue};
 use absmem::ThreadCtx;
-use coherence::{Machine, MachineConfig, Program, SimCtx};
+use coherence::MachineConfig;
+use harness::{
+    Backend, Job, NativeBackend, QueueAdapter, QueueKind, QueueParams, QueueVisitor, SimBackend,
+    Substrate,
+};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
@@ -37,6 +42,8 @@ pub struct Workload {
     pub ops_per_thread: u64,
     /// Pre-fill per producer (consumer-only / mixed phases).
     pub prefill_per_producer: u64,
+    /// Simulated machine (topology doubles as the thread-count source on
+    /// native, where only the sizes matter).
     pub machine: MachineConfig,
     pub qp: QueueParams,
 }
@@ -50,10 +57,11 @@ pub struct Measurement {
     pub latency_ns: f64,
     /// Aggregate throughput over the measured phase, Mop/s.
     pub throughput_mops: f64,
-    /// Wall (simulated) duration of the measured phase divided by total
-    /// measured ops, ns/op — the paper's Figure 7 metric.
+    /// Wall (simulated or host) duration of the measured phase divided by
+    /// total measured ops, ns/op — the paper's Figure 7 metric.
     pub duration_ns_per_op: f64,
-    /// HTM commits/aborts observed in the whole run (SBQ-HTM only).
+    /// HTM commits/aborts observed in the whole run (SBQ-HTM on the
+    /// simulator only; zero on native).
     pub tx_commits: u64,
     pub tx_aborts: u64,
     pub tripped_writers: u64,
@@ -68,23 +76,26 @@ struct ThreadOut {
     end: u64,
 }
 
-/// Runs `w` with queue type `Q` and returns the data point.
-pub fn run_generic<Q: SimQueue + 'static>(w: &Workload) -> Measurement {
+/// Runs `w` with queue type `Q` on `backend` and returns the data point.
+/// Both clocks tick in cycles at the nominal 2.2 GHz (simulated cycles
+/// vs. wall-clock-derived), so the ns conversions below hold on either
+/// backend.
+pub fn run_on<B, Q>(backend: &mut B, w: &Workload) -> Measurement
+where
+    B: Backend,
+    Q: QueueAdapter<B::Ctx> + 'static,
+{
     let base = Arc::new(AtomicU64::new(0));
     let outs: Arc<Mutex<Vec<ThreadOut>>> = Arc::new(Mutex::new(Vec::new()));
     let nthreads = w.producers + w.consumers;
-    assert!(
-        nthreads <= w.machine.cores,
-        "workload exceeds machine cores"
-    );
 
-    let mut programs: Vec<Program> = Vec::with_capacity(nthreads);
+    let mut programs: Vec<Job<B::Ctx>> = Vec::with_capacity(nthreads);
     for i in 0..nthreads {
         let is_producer = i < w.producers;
         let base = Arc::clone(&base);
         let outs = Arc::clone(&outs);
         let w2 = w.clone();
-        programs.push(Box::new(move |ctx: &mut SimCtx| {
+        programs.push(Box::new(move |ctx: &mut B::Ctx| {
             let mut q = Q::attach(base.load(SeqCst), ctx, &w2.qp);
             let tid = ctx.thread_id() as u64;
             let mut seq = 0u64;
@@ -142,7 +153,7 @@ pub fn run_generic<Q: SimQueue + 'static>(w: &Workload) -> Measurement {
 
     let b2 = Arc::clone(&base);
     let qp = w.qp;
-    let report = Machine::new(w.machine.clone()).run(
+    let report = backend.run(
         Box::new(move |ctx| {
             let addr = Q::create(ctx, &qp);
             b2.store(addr, SeqCst);
@@ -162,23 +173,58 @@ pub fn run_generic<Q: SimQueue + 'static>(w: &Workload) -> Measurement {
         latency_ns: coherence::cycles_to_ns(lat_sum) / total_ops as f64,
         throughput_mops: total_ops as f64 / coherence::cycles_to_ns(duration) * 1e3,
         duration_ns_per_op: coherence::cycles_to_ns(duration) / total_ops as f64,
-        tx_commits: report.stats.tx_commits,
-        tx_aborts: report.stats.tx_aborts(),
-        tripped_writers: report.stats.tripped_writers,
+        tx_commits: report.tx_commits(),
+        tx_aborts: report.tx_aborts(),
+        tripped_writers: report.tripped_writers(),
     }
 }
 
-/// Dynamic dispatch over the queue kinds.
-pub fn run_workload(kind: QueueKind, w: &Workload) -> Measurement {
-    match kind {
-        QueueKind::SbqHtm => run_generic::<SbqHtmSim>(w),
-        QueueKind::SbqCas => run_generic::<SbqCasSim>(w),
-        QueueKind::SbqStriped => run_generic::<SbqStripedSim>(w),
-        QueueKind::BqOriginal => run_generic::<BqOriginalSim>(w),
-        QueueKind::WfQueue => run_generic::<WfSim>(w),
-        QueueKind::CcQueue => run_generic::<CcSim>(w),
-        QueueKind::MsQueue => run_generic::<MsSim>(w),
+struct WorkloadDriver<'a, B: Backend> {
+    backend: &'a mut B,
+    w: &'a Workload,
+}
+
+impl<B> QueueVisitor<B::Ctx> for WorkloadDriver<'_, B>
+where
+    B: Backend,
+    B::Ctx: Substrate,
+{
+    type Out = Measurement;
+
+    fn visit<Q: QueueAdapter<B::Ctx> + 'static>(self) -> Measurement {
+        run_on::<B, Q>(self.backend, self.w)
     }
+}
+
+/// Runs `w` on the simulator, dispatching on the queue kind — the
+/// figures' entry point.
+pub fn run_workload(kind: QueueKind, w: &Workload) -> Measurement {
+    let nthreads = w.producers + w.consumers;
+    assert!(
+        nthreads <= w.machine.cores,
+        "workload exceeds machine cores"
+    );
+    let mut backend = SimBackend::new(w.machine.clone());
+    kind.visit::<coherence::SimCtx, _>(WorkloadDriver {
+        backend: &mut backend,
+        w,
+    })
+}
+
+/// Runs `w` on native atomics (real OS threads, wall-clock time).
+pub fn run_workload_native(kind: QueueKind, w: &Workload) -> Measurement {
+    let mut backend = NativeBackend::default();
+    kind.visit::<absmem::native::NativeCtx, _>(WorkloadDriver {
+        backend: &mut backend,
+        w,
+    })
+}
+
+/// Runs `w` on the simulator with a statically chosen queue type (for
+/// ablation drivers comparing non-[`QueueKind`] variants).
+pub fn run_generic<Q: QueueAdapter<coherence::SimCtx> + 'static>(w: &Workload) -> Measurement {
+    let mut backend = SimBackend::new(w.machine.clone());
+    run_on::<SimBackend, Q>(&mut backend, w)
 }
 
 /// Builds the workload for one paper figure data point.

@@ -798,6 +798,10 @@ impl absmem::ThreadCtx for SimCtx {
     fn now(&self) -> u64 {
         self.local_time
     }
+
+    fn barrier(&mut self) {
+        SimCtx::barrier(self)
+    }
 }
 
 /// The simulated multicore machine.

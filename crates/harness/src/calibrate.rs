@@ -1,0 +1,52 @@
+//! Delay calibration shared by every native consumer.
+//!
+//! `ThreadCtx::delay(cycles)` means "stall this thread for `cycles` CPU
+//! cycles". On the simulator that is exact: the core's clock advances by
+//! the requested amount. On native hardware there is no portable cycle
+//! stall, so [`busy_wait_cycles`] converts cycles to nanoseconds at the
+//! nominal [`GHZ`] frequency and busy-waits: short delays use a
+//! once-calibrated `spin_loop` count (measuring `Instant::now` would
+//! dwarf the delay itself), long delays poll the monotonic clock.
+//!
+//! The calibration lives in `absmem::native` (the only layer allowed to
+//! touch OS timing primitives); this module re-exports it as the one
+//! public, test-covered entry point so bench, simfuzz, and tests all
+//! share a single measurement instead of each keeping a private copy.
+
+pub use absmem::native::{busy_wait_cycles, cycles_to_ns, GHZ};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn cycles_to_ns_uses_nominal_frequency() {
+        // 2.2 GHz: 2200 cycles ≈ 1000 ns (float conversion may truncate
+        // by one).
+        assert!((999..=1000).contains(&cycles_to_ns(2200)));
+        assert_eq!(cycles_to_ns(0), 0);
+        // Round-trips with the coherence crate's inverse convention.
+        assert!((219..=220).contains(&cycles_to_ns((220.0 * GHZ) as u64)));
+    }
+
+    #[test]
+    fn long_busy_wait_takes_at_least_the_requested_time() {
+        // 220_000 cycles at 2.2 GHz = 100 µs; generous lower bound to
+        // stay robust under CI noise.
+        let t0 = Instant::now();
+        busy_wait_cycles(220_000);
+        assert!(t0.elapsed().as_micros() >= 90);
+    }
+
+    #[test]
+    fn short_busy_wait_returns_quickly() {
+        // A 44-cycle (20 ns) delay must not degenerate into a clock poll
+        // loop; allow a loose 1 ms upper bound for scheduling noise.
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            busy_wait_cycles(44);
+        }
+        assert!(t0.elapsed().as_millis() < 1000);
+    }
+}

@@ -1,0 +1,41 @@
+//! Backend-generic harness: one execution layer that runs every queue,
+//! workload, fuzz campaign, and linearizability check on **both** the
+//! coherence simulator and native atomics.
+//!
+//! The repo's layering (bottom to top):
+//!
+//! | layer | owns |
+//! |-------|------|
+//! | `absmem` | the word-addressed memory model: [`absmem::ThreadCtx`], CAS strategies, the native substrate |
+//! | `coherence` | the simulated substrate: MESI machine, HTM, `SimCtx` |
+//! | `core`/`sbq`/`baselines` | queue algorithms, generic over `ThreadCtx` |
+//! | **`harness`** (this crate) | *running* queues: [`Backend`], the [`QueueKind`] adapters, history recording, delay calibration |
+//! | `bench`/`simfuzz`/top-level tests | workloads, fuzzing, and suites written **once** against this crate |
+//!
+//! The pieces:
+//!
+//! - [`backend`]: the [`Backend`] trait (setup job + n thread jobs →
+//!   report) with [`SimBackend`] and [`NativeBackend`] implementations.
+//! - [`queues`]: [`QueueAdapter`], the seven [`QueueKind`] adapters, and
+//!   the [`Substrate`] capability trait that picks `TxCas` where HTM
+//!   exists and `DelayedCas` where it does not.
+//! - [`history`]: [`record_history`] — the one copy of the
+//!   attach/barrier/drive/record loop, plus canonical sorting and
+//!   digesting of the merged history.
+//! - [`calibrate`]: the shared native busy-wait calibration behind
+//!   `ThreadCtx::delay`.
+
+pub mod backend;
+pub mod calibrate;
+pub mod history;
+pub mod queues;
+
+pub use backend::{Backend, BackendKind, BackendReport, Job, NativeBackend, SimBackend};
+pub use history::{
+    dequeue_multiset, enqueue_multiset, history_digest, history_value, mixed_ops, record_history,
+    record_history_as, sort_history, DriveOutcome, DriveSpec,
+};
+pub use queues::{
+    BqOriginalQ, CcQ, MsQ, QueueAdapter, QueueKind, QueueParams, QueueVisitor, SbqCasQ, SbqHtmQ,
+    SbqStripedQ, Substrate, WfQ,
+};

@@ -48,7 +48,7 @@ pub enum Op {
 }
 
 /// A recorded operation with its execution interval.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Executing thread (diagnostics only).
     pub thread: usize,

@@ -10,7 +10,7 @@
 //! machine-checkable `violation` kind token.
 
 use crate::plan::FuzzPlan;
-use crate::simq::QueueKind;
+use harness::QueueKind;
 use linearize::{Event, Op, Violation};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};

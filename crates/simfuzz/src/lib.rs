@@ -1,8 +1,10 @@
 //! # simfuzz — deterministic schedule-exploration fuzzer
 //!
-//! Randomized concurrent-queue workloads on the coherence simulator,
-//! with fault injection, full linearizability checking, and shrinking of
-//! failures to replayable text artifacts.
+//! Randomized concurrent-queue workloads with fault injection, full
+//! linearizability checking, and shrinking of failures to replayable
+//! text artifacts — on either execution backend of the
+//! [`harness`] crate: the coherence simulator (default) or native
+//! atomics (`--backend native`).
 //!
 //! One **seed** determines one run completely ([`FuzzPlan::derive`]):
 //! the queue under test (rotating over every implementation in the
@@ -10,30 +12,41 @@
 //! knobs — spurious-abort probability, transactional capacity limit,
 //! delay-jitter extremes, scheduler-choice perturbation, topology, and
 //! the §3.4.1 microarchitectural fix. The run records every operation
-//! through [`linearize::Recorder`] and checks the merged history with
-//! the complete (pattern + Wing&Gong search) checker.
+//! through [`linearize::Recorder`] (via [`harness::record_history`]) and
+//! checks the merged history with the complete (pattern + Wing&Gong
+//! search) checker.
 //!
-//! On violation, [`shrink_plan`] greedily minimizes the plan (fewer ops,
-//! fewer threads, fewer fault knobs) while preserving the violation
-//! kind, minimizes the witness history event-by-event, and the campaign
-//! driver writes a `fuzz-artifacts/<queue>-seed<n>.repro` file that
-//! `simctl fuzz --repro` replays bit-exactly.
+//! On the simulator a violation is shrunk: [`shrink_plan`] greedily
+//! minimizes the plan (fewer ops, fewer threads, fewer fault knobs)
+//! while preserving the violation kind, minimizes the witness history
+//! event-by-event, and the campaign driver writes a
+//! `fuzz-artifacts/<queue>-seed<n>.repro` file that `simctl fuzz
+//! --repro` replays bit-exactly.
+//!
+//! On the native backend each seed's plan runs on real OS threads *and*
+//! on the simulator, both draining the queue after the op phase; the
+//! campaign fails a seed if either history is non-linearizable or the
+//! drained dequeue multisets disagree. Native schedules are not
+//! reproducible, so a native-only failure is reported unshrunken; when
+//! the simulator reproduces the violation deterministically, the usual
+//! shrink-and-artifact pipeline runs.
 
 pub mod artifact;
 pub mod plan;
 pub mod run;
 pub mod shrink;
-pub mod simq;
 
 pub use artifact::{
     parse_artifact, read_artifact, render_artifact, write_artifact, Artifact, ARTIFACT_VERSION,
 };
+pub use harness::{BackendKind, QueueKind, QueueParams};
 pub use plan::{FuzzPlan, FUZZ_QUEUES};
-pub use run::{run_plan, RunOutcome};
+pub use run::{
+    crosscheck_plan, run_plan, run_plan_native, run_plan_sim, CrosscheckOutcome, RunOutcome,
+};
 pub use shrink::{shrink_plan, ShrinkOutcome, DEFAULT_SHRINK_BUDGET};
 
 use linearize::Violation;
-use simq::QueueKind;
 use std::path::{Path, PathBuf};
 
 /// Campaign parameters.
@@ -46,6 +59,9 @@ pub struct CampaignConfig {
     /// Pin every run to one queue instead of rotating over
     /// [`FUZZ_QUEUES`].
     pub queue: Option<QueueKind>,
+    /// Execution backend. [`BackendKind::Native`] cross-checks every seed
+    /// against a drained simulator run of the same plan.
+    pub backend: BackendKind,
     /// Where to write reproducer artifacts for failures; `None` skips
     /// writing (failures are still shrunk and reported).
     pub artifacts_dir: Option<PathBuf>,
@@ -57,20 +73,53 @@ impl Default for CampaignConfig {
             seeds: 64,
             start_seed: 0,
             queue: None,
+            backend: BackendKind::Sim,
             artifacts_dir: Some(PathBuf::from("fuzz-artifacts")),
         }
     }
 }
 
-/// One shrunk, recorded failure.
+/// Why a seed failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A recorded history failed the linearizability checker; the name
+    /// tells which backend's history ("sim" / "native").
+    Violation {
+        backend: &'static str,
+        violation: Violation,
+    },
+    /// Native cross-check: the drained dequeue multisets of the sim and
+    /// native runs disagreed (sizes attached for diagnostics).
+    MultisetMismatch { sim: usize, native: usize },
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Violation { backend, violation } => {
+                write!(f, "[{backend}] {violation}")
+            }
+            FailureKind::MultisetMismatch { sim, native } => write!(
+                f,
+                "drained multisets disagree: sim dequeued {sim} values, native {native}"
+            ),
+        }
+    }
+}
+
+/// One recorded campaign failure.
 #[derive(Debug)]
 pub struct CampaignFailure {
     /// The seed whose derived plan failed.
     pub seed: u64,
-    /// The *minimized* reproducer (not the original derived plan).
-    pub shrunk: ShrinkOutcome,
-    /// Artifact path, if an artifacts dir was configured and the write
-    /// succeeded.
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The minimized reproducer, present when the (deterministic)
+    /// simulator reproduces the failure; a native-only failure cannot be
+    /// shrunk and carries `None`.
+    pub shrunk: Option<ShrinkOutcome>,
+    /// Artifact path, if the failure was shrunk, an artifacts dir was
+    /// configured, and the write succeeded.
     pub artifact: Option<PathBuf>,
 }
 
@@ -79,36 +128,64 @@ pub struct CampaignFailure {
 pub struct CampaignReport {
     /// Seeds run.
     pub runs: u64,
-    /// Failures, shrunk; empty means the campaign was clean.
+    /// Failures; empty means the campaign was clean.
     pub failures: Vec<CampaignFailure>,
 }
 
-/// Runs `cfg.seeds` consecutive plans; shrinks every failure and writes
-/// its reproducer artifact. `progress` is called after each seed with
-/// `(seed, queue name, violation if any)` — pass `|_, _, _| {}` when
-/// silence is wanted.
+/// Runs `cfg.seeds` consecutive plans on `cfg.backend`; shrinks every
+/// sim-reproducible failure and writes its reproducer artifact.
+/// `progress` is called after each seed with `(seed, queue name, failure
+/// if any)` — pass `|_, _, _| {}` when silence is wanted.
 pub fn run_campaign(
     cfg: &CampaignConfig,
-    mut progress: impl FnMut(u64, &'static str, Option<&Violation>),
+    mut progress: impl FnMut(u64, &'static str, Option<&FailureKind>),
 ) -> CampaignReport {
     let mut report = CampaignReport::default();
     for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
         let plan = FuzzPlan::derive(seed, cfg.queue);
-        let out = run_plan(&plan);
+        let kind = match cfg.backend {
+            BackendKind::Sim => run_plan(&plan)
+                .violation
+                .map(|violation| FailureKind::Violation {
+                    backend: "sim",
+                    violation,
+                }),
+            BackendKind::Native => {
+                let out = crosscheck_plan(&plan);
+                if let Some(violation) = out.native.violation {
+                    Some(FailureKind::Violation {
+                        backend: "native",
+                        violation,
+                    })
+                } else if let Some(violation) = out.sim.violation {
+                    Some(FailureKind::Violation {
+                        backend: "sim",
+                        violation,
+                    })
+                } else if !out.multisets_agree {
+                    Some(FailureKind::MultisetMismatch {
+                        sim: harness::dequeue_multiset(&out.sim.history).len(),
+                        native: harness::dequeue_multiset(&out.native.history).len(),
+                    })
+                } else {
+                    None
+                }
+            }
+        };
         report.runs += 1;
-        progress(seed, plan.queue.name(), out.violation.as_ref());
-        if out.violation.is_none() {
-            continue;
-        }
-        // Re-running inside shrink_plan is deterministic, so the
-        // confirmed violation is the one we just saw.
-        let shrunk = shrink_plan(&plan, DEFAULT_SHRINK_BUDGET)
-            .expect("deterministic rerun of a failing plan must fail again");
-        let artifact = cfg.artifacts_dir.as_deref().and_then(|dir| {
-            write_artifact(dir, &shrunk.plan, &shrunk.violation, &shrunk.witness).ok()
-        });
+        progress(seed, plan.queue.name(), kind.as_ref());
+        let Some(kind) = kind else { continue };
+        // Shrinking replays on the simulator, which is deterministic;
+        // it reproduces (and hence shrinks) every sim failure, while a
+        // native-only failure yields `None` and is reported as-is.
+        let shrunk = shrink_plan(&plan, DEFAULT_SHRINK_BUDGET);
+        let artifact = match (&shrunk, cfg.artifacts_dir.as_deref()) {
+            (Some(s), Some(dir)) => write_artifact(dir, &s.plan, &s.violation, &s.witness).ok(),
+            _ => None,
+        };
         report.failures.push(CampaignFailure {
             seed,
+            kind,
             shrunk,
             artifact,
         });
@@ -131,7 +208,9 @@ pub struct ReproOutcome {
     pub fingerprint: String,
 }
 
-/// Replays a reproducer artifact and checks it still fails the same way.
+/// Replays a reproducer artifact (on the simulator — artifacts are only
+/// written for deterministic failures) and checks it still fails the
+/// same way.
 pub fn reproduce(path: &Path) -> Result<ReproOutcome, String> {
     let art = read_artifact(path)?;
     let out = run_plan(&art.plan);

@@ -8,21 +8,13 @@
 //! round-trips exactly through the text artifact format; probabilities
 //! are stored in parts-per-million.
 
-use crate::simq::QueueKind;
+use harness::QueueKind;
 use simrng::SimRng;
 
 /// Queue kinds the fuzzer sweeps: the paper set plus the MS-queue base
 /// case and the experimental striped basket — every implementation in
-/// the tree.
-pub const FUZZ_QUEUES: [QueueKind; 7] = [
-    QueueKind::SbqHtm,
-    QueueKind::SbqCas,
-    QueueKind::SbqStriped,
-    QueueKind::BqOriginal,
-    QueueKind::WfQueue,
-    QueueKind::CcQueue,
-    QueueKind::MsQueue,
-];
+/// the tree, in [`QueueKind::ALL`]'s rotation order.
+pub const FUZZ_QUEUES: [QueueKind; 7] = QueueKind::ALL;
 
 /// One fully determined fuzz run.
 #[derive(Debug, Clone, PartialEq, Eq)]

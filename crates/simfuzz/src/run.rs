@@ -1,25 +1,28 @@
-//! The deterministic fuzz runner: executes one [`FuzzPlan`] on the
-//! coherence simulator, records the complete operation history through
-//! [`linearize::Recorder`], and checks it with the full (pattern +
-//! search) linearizability checker.
+//! The fuzz runner: executes one [`FuzzPlan`] through the backend-generic
+//! [`harness::record_history`] driver and checks the merged history with
+//! the full (pattern + search) linearizability checker.
 //!
-//! Reproducibility contract: the runner consumes *only* the plan. Thread
-//! op streams come from the plan's seed, machine noise from the plan's
-//! machine seed, and the merged history is canonically sorted — so two
-//! runs of equal plans produce identical outcomes down to the
-//! fingerprint, on either scheduler.
+//! Reproducibility contract (simulator backend): the runner consumes
+//! *only* the plan. Thread op streams come from the plan's seed, machine
+//! noise from the plan's machine seed, and the merged history is
+//! canonically sorted — so two runs of equal plans produce identical
+//! outcomes down to the fingerprint, on either scheduler.
+//!
+//! The native backend runs the *same plan* on real OS threads and real
+//! atomics. Native interleavings are not reproducible, so native
+//! fingerprints vary run to run; what is invariant — and what
+//! [`crosscheck_plan`] verifies — is linearizability of every recorded
+//! history plus, for drained runs, the dequeued-value multiset, which is
+//! fully determined by the plan on any correct queue.
 
 use crate::plan::FuzzPlan;
-use crate::simq::{
-    BqOriginalSim, CcSim, MsSim, QueueKind, QueueParams, SbqCasSim, SbqHtmSim, SbqStripedSim,
-    SimQueue, WfSim,
+use coherence::RunReport;
+use harness::{
+    dequeue_multiset, history_digest, record_history, DriveSpec, NativeBackend, QueueParams,
+    SimBackend,
 };
-use absmem::ThreadCtx;
-use coherence::{Machine, Program, RunReport, SimCtx};
-use linearize::{check_queue_linearizable, Event, Op, Recorder, Violation};
+use linearize::{check_queue_linearizable, Event, Violation};
 use sbq::txcas::TxCasParams;
-use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
 
 /// Result of one fuzz run.
 #[derive(Debug)]
@@ -28,10 +31,11 @@ pub struct RunOutcome {
     pub history: Vec<Event>,
     /// Checker verdict; `None` means linearizable.
     pub violation: Option<Violation>,
-    /// Compact digest of the observable run result (simulated times,
-    /// counters, history) for determinism comparisons.
+    /// Compact digest of the observable run result (times, counters,
+    /// history) for determinism comparisons. Stable across runs on the
+    /// simulator; schedule-dependent on native.
     pub fingerprint: String,
-    /// Simulated end time, cycles.
+    /// End time in cycles (simulated or nominal wall-clock).
     pub end_time: u64,
 }
 
@@ -54,45 +58,15 @@ fn queue_params(plan: &FuzzPlan) -> QueueParams {
     }
 }
 
-/// Canonical history order: merged per-thread recorders are sorted by
-/// `(invoke, ret, thread, op)` so the outcome does not depend on the
-/// incidental order threads parked their recorders in.
-fn sort_history(history: &mut [Event]) {
-    fn op_key(op: &Op) -> (u8, u64) {
-        match *op {
-            Op::Enq(v) => (0, v),
-            Op::DeqSome(v) => (1, v),
-            Op::DeqNull => (2, 0),
-        }
+fn spec(plan: &FuzzPlan, drain: bool) -> DriveSpec {
+    DriveSpec {
+        params: queue_params(plan),
+        ops: (0..plan.threads).map(|t| plan.thread_ops(t)).collect(),
+        drain,
     }
-    history.sort_by_key(|e| (e.invoke, e.ret, e.thread, op_key(&e.op)));
 }
 
-/// FNV-1a fold over the history, mixed into the fingerprint.
-fn history_digest(history: &[Event]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut mix = |x: u64| {
-        for b in x.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-    };
-    for e in history {
-        let (tag, v) = match e.op {
-            Op::Enq(v) => (1u64, v),
-            Op::DeqSome(v) => (2, v),
-            Op::DeqNull => (3, 0),
-        };
-        mix(e.thread as u64);
-        mix(tag);
-        mix(v);
-        mix(e.invoke);
-        mix(e.ret);
-    }
-    h
-}
-
-fn fingerprint(report: &RunReport, history: &[Event]) -> String {
+fn sim_fingerprint(report: &RunReport, history: &[Event]) -> String {
     format!(
         "end={} core_end={:?} commits={} conflicts={} explicit={} spurious={} capacity={} \
          tripped={} stalls={} hist={}#{:016x}",
@@ -110,80 +84,80 @@ fn fingerprint(report: &RunReport, history: &[Event]) -> String {
     )
 }
 
-fn run_plan_on<Q: SimQueue + 'static>(plan: &FuzzPlan) -> RunOutcome {
-    let base = Arc::new(AtomicU64::new(0));
-    let recorders: Arc<Mutex<Vec<Recorder>>> = Arc::new(Mutex::new(Vec::new()));
-    let qp = queue_params(plan);
+/// Runs one plan on the simulator with the historical (no-drain) shape:
+/// this is the deterministic path the campaign, shrinker, and artifact
+/// replay are built on.
+pub fn run_plan(plan: &FuzzPlan) -> RunOutcome {
+    run_plan_sim(plan, false)
+}
 
-    let programs: Vec<Program> = (0..plan.threads)
-        .map(|t| {
-            let ops = plan.thread_ops(t);
-            let base = Arc::clone(&base);
-            let recorders = Arc::clone(&recorders);
-            Box::new(move |ctx: &mut SimCtx| {
-                let mut q = Q::attach(base.load(SeqCst), ctx, &qp);
-                let tid = ctx.thread_id();
-                let mut rec = Recorder::new();
-                let mut seq = 0u64;
-                ctx.barrier();
-                for &is_enq in &ops {
-                    let invoke = ctx.now();
-                    if is_enq {
-                        seq += 1;
-                        let v = ((tid as u64 + 1) << 40) | seq;
-                        q.enqueue(ctx, v);
-                        rec.record(tid, Op::Enq(v), invoke, ctx.now());
-                    } else {
-                        let op = match q.dequeue(ctx) {
-                            Some(v) => Op::DeqSome(v),
-                            None => Op::DeqNull,
-                        };
-                        rec.record(tid, op, invoke, ctx.now());
-                    }
-                }
-                recorders.lock().unwrap().push(rec);
-            }) as Program
-        })
-        .collect();
-
-    let b2 = Arc::clone(&base);
-    let report = Machine::new(plan.machine()).run(
-        Box::new(move |ctx| {
-            let addr = Q::create(ctx, &qp);
-            b2.store(addr, SeqCst);
-        }),
-        programs,
-    );
-
-    let recorders = std::mem::take(&mut *recorders.lock().unwrap());
-    let mut history = Recorder::merge(recorders);
-    sort_history(&mut history);
-    let violation = check_queue_linearizable(&history).err();
-    let fingerprint = fingerprint(&report, &history);
+/// Runs one plan on the simulator, optionally draining the queue after an
+/// end-of-ops barrier (drained histories conserve elements exactly).
+pub fn run_plan_sim(plan: &FuzzPlan, drain: bool) -> RunOutcome {
+    let mut backend = SimBackend::new(plan.machine());
+    let out = record_history(&mut backend, plan.queue, spec(plan, drain));
+    let report = out.report.sim.expect("sim backend always carries a report");
+    let violation = check_queue_linearizable(&out.history).err();
+    let fingerprint = sim_fingerprint(&report, &out.history);
     RunOutcome {
-        history,
+        history: out.history,
         violation,
         fingerprint,
         end_time: report.end_time,
     }
 }
 
-/// Runs one plan, dispatching on its queue kind.
-pub fn run_plan(plan: &FuzzPlan) -> RunOutcome {
-    match plan.queue {
-        QueueKind::SbqHtm => run_plan_on::<SbqHtmSim>(plan),
-        QueueKind::SbqCas => run_plan_on::<SbqCasSim>(plan),
-        QueueKind::SbqStriped => run_plan_on::<SbqStripedSim>(plan),
-        QueueKind::BqOriginal => run_plan_on::<BqOriginalSim>(plan),
-        QueueKind::WfQueue => run_plan_on::<WfSim>(plan),
-        QueueKind::CcQueue => run_plan_on::<CcSim>(plan),
-        QueueKind::MsQueue => run_plan_on::<MsSim>(plan),
+/// Runs one plan on native atomics (real OS threads). The plan's
+/// machine-level fault knobs (spurious aborts, capacity, jitter,
+/// scheduler perturbation) have no native equivalent and are ignored;
+/// the op streams, queue kind, and thread count are honored exactly.
+pub fn run_plan_native(plan: &FuzzPlan, drain: bool) -> RunOutcome {
+    let mut backend = NativeBackend::default();
+    let out = record_history(&mut backend, plan.queue, spec(plan, drain));
+    let violation = check_queue_linearizable(&out.history).err();
+    let fingerprint = format!(
+        "backend=native end={} hist={}#{:016x}",
+        out.report.end_time,
+        out.history.len(),
+        history_digest(&out.history),
+    );
+    RunOutcome {
+        violation,
+        fingerprint,
+        end_time: out.report.end_time,
+        history: out.history,
+    }
+}
+
+/// One plan run on both backends with draining, plus the cross-backend
+/// comparison of the drained dequeue multisets.
+#[derive(Debug)]
+pub struct CrosscheckOutcome {
+    pub sim: RunOutcome,
+    pub native: RunOutcome,
+    /// True iff both backends drained the exact same multiset of values —
+    /// a schedule-independent equality on any correct queue, since the
+    /// drained multiset equals the plan-determined enqueue multiset.
+    pub multisets_agree: bool,
+}
+
+/// Runs `plan` on the simulator *and* on native atomics (both drained)
+/// and compares the dequeued-value multisets.
+pub fn crosscheck_plan(plan: &FuzzPlan) -> CrosscheckOutcome {
+    let sim = run_plan_sim(plan, true);
+    let native = run_plan_native(plan, true);
+    let multisets_agree = dequeue_multiset(&sim.history) == dequeue_multiset(&native.history);
+    CrosscheckOutcome {
+        sim,
+        native,
+        multisets_agree,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use harness::QueueKind;
 
     #[test]
     fn identical_plans_produce_identical_outcomes() {
@@ -212,5 +186,14 @@ mod tests {
             );
             assert!(!out.history.is_empty());
         }
+    }
+
+    #[test]
+    fn crosscheck_agrees_on_a_clean_plan() {
+        let plan = FuzzPlan::derive(1, None);
+        let out = crosscheck_plan(&plan);
+        assert_eq!(out.sim.violation, None);
+        assert_eq!(out.native.violation, None);
+        assert!(out.multisets_agree);
     }
 }

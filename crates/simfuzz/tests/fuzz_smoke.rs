@@ -22,6 +22,7 @@ fn small_campaign_is_clean_on_every_queue() {
         seeds: 2 * FUZZ_QUEUES.len() as u64,
         start_seed: 0,
         queue: None,
+        backend: simfuzz::BackendKind::Sim,
         artifacts_dir: None,
     };
     let report = run_campaign(&cfg, |_, _, _| {});
@@ -32,14 +33,42 @@ fn small_campaign_is_clean_on_every_queue() {
         .failures
         .iter()
         .filter(|f| {
-            !(cfg!(feature = "planted-bug")
-                && f.shrunk.plan.queue == simfuzz::simq::QueueKind::MsQueue)
+            let q = f.shrunk.as_ref().map(|s| s.plan.queue);
+            !(cfg!(feature = "planted-bug") && q == Some(simfuzz::QueueKind::MsQueue))
         })
-        .map(|f| (f.seed, &f.shrunk.violation))
+        .map(|f| (f.seed, &f.kind))
         .collect();
     assert!(
         unexpected.is_empty(),
         "unexpected violations: {unexpected:?}"
+    );
+}
+
+#[test]
+fn small_native_campaign_is_clean() {
+    // One full rotation over every queue on real OS threads, each seed
+    // cross-checked against a drained simulator run of the same plan.
+    let cfg = CampaignConfig {
+        seeds: FUZZ_QUEUES.len() as u64,
+        start_seed: 0,
+        queue: None,
+        backend: simfuzz::BackendKind::Native,
+        artifacts_dir: None,
+    };
+    let report = run_campaign(&cfg, |_, _, _| {});
+    assert_eq!(report.runs, cfg.seeds);
+    let unexpected: Vec<_> = report
+        .failures
+        .iter()
+        .filter(|f| {
+            let q = FuzzPlan::derive(f.seed, None).queue;
+            !(cfg!(feature = "planted-bug") && q == simfuzz::QueueKind::MsQueue)
+        })
+        .map(|f| (f.seed, &f.kind))
+        .collect();
+    assert!(
+        unexpected.is_empty(),
+        "unexpected native failures: {unexpected:?}"
     );
 }
 

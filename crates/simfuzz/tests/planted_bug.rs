@@ -11,8 +11,7 @@
 #![cfg(feature = "planted-bug")]
 
 use linearize::Violation;
-use simfuzz::simq::QueueKind;
-use simfuzz::{reproduce, run_campaign, run_plan, CampaignConfig, FuzzPlan};
+use simfuzz::{reproduce, run_campaign, run_plan, CampaignConfig, FuzzPlan, QueueKind};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("simfuzz-{tag}-{}", std::process::id()));
@@ -27,6 +26,7 @@ fn campaign_finds_shrinks_and_replays_the_planted_bug() {
         seeds: 64,
         start_seed: 0,
         queue: Some(QueueKind::MsQueue),
+        backend: simfuzz::BackendKind::Sim,
         artifacts_dir: Some(dir.clone()),
     };
     let report = run_campaign(&cfg, |_, _, _| {});
@@ -36,14 +36,15 @@ fn campaign_finds_shrinks_and_replays_the_planted_bug() {
     );
 
     let f = &report.failures[0];
+    let shrunk = f.shrunk.as_ref().expect("sim failures always shrink");
     assert!(
-        matches!(f.shrunk.violation, Violation::Repeat { .. }),
+        matches!(shrunk.violation, Violation::Repeat { .. }),
         "planted bug is a duplicated dequeue, got {:?}",
-        f.shrunk.violation
+        shrunk.violation
     );
 
     // The shrunk plan is itself a reproducer...
-    let rerun = run_plan(&f.shrunk.plan);
+    let rerun = run_plan(&shrunk.plan);
     assert!(
         matches!(rerun.violation, Some(Violation::Repeat { .. })),
         "shrunk plan no longer fails: {:?}",
@@ -53,8 +54,8 @@ fn campaign_finds_shrinks_and_replays_the_planted_bug() {
     // never tried, but every single-step reduction must have been either
     // tried-and-rejected or out of range. Spot-check the two workload
     // dimensions.
-    if f.shrunk.plan.ops_per_thread > 1 {
-        let mut smaller = f.shrunk.plan.clone();
+    if shrunk.plan.ops_per_thread > 1 {
+        let mut smaller = shrunk.plan.clone();
         smaller.ops_per_thread -= 1;
         let out = run_plan(&smaller);
         assert!(
@@ -62,8 +63,8 @@ fn campaign_finds_shrinks_and_replays_the_planted_bug() {
             "shrink missed a smaller op count"
         );
     }
-    if f.shrunk.plan.threads > 2 {
-        let mut smaller = f.shrunk.plan.clone();
+    if shrunk.plan.threads > 2 {
+        let mut smaller = shrunk.plan.clone();
         smaller.threads -= 1;
         let out = run_plan(&smaller);
         assert!(
@@ -72,7 +73,7 @@ fn campaign_finds_shrinks_and_replays_the_planted_bug() {
         );
     }
     // The minimized witness actually exhibits the duplicate.
-    assert!(f.shrunk.witness.len() >= 2);
+    assert!(shrunk.witness.len() >= 2);
 
     // The artifact replays to the same violation kind, bit-identically.
     let path = f.artifact.as_ref().expect("artifact written");

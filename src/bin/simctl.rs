@@ -1,6 +1,6 @@
-//! simctl — run one queue workload on the simulated machine with custom
-//! parameters, printing the measurement as TSV. The interactive companion
-//! to the fixed `figures` drivers.
+//! simctl — run one queue workload with custom parameters, printing the
+//! measurement as TSV. The interactive companion to the fixed `figures`
+//! drivers.
 //!
 //! ```text
 //! simctl <queue> <workload> <threads> [key=value ...]
@@ -8,6 +8,7 @@
 //! queues:    sbq-htm | sbq-cas | bq | wf | cc | ms
 //! workloads: producer | consumer | mixed
 //! keys:      ops (per thread)        default 200
+//!            backend (sim|native)    default sim
 //!            hop (intra-socket, cy)  default 25
 //!            hop-cross (cycles)      default 110
 //!            delay (TxCAS intra, cy) default 600
@@ -17,6 +18,11 @@
 //! ```
 //!
 //! Example: `simctl sbq-htm producer 44 ops=300 delay=900`
+//!
+//! With `backend=native` the workload runs on real OS threads and
+//! hardware atomics instead of the simulator; the machine keys (`hop`,
+//! `hop-cross`, `fix`, `seed`) then have no effect and the HTM counters
+//! read zero.
 //!
 //! `simctl bench [key=value ...]` instead runs the fixed wall-clock
 //! scheduler benchmark and writes `BENCH_sim.json` (see
@@ -29,6 +35,7 @@
 //! out      JSON output path                default BENCH_sim.json
 //! tsv-out  also write the TSV capture here (optional)
 //! baseline prior TSV capture to compare against (optional)
+//! native   also run the native wall-clock series (0/1, default 0)
 //! ```
 //!
 //! `simctl fuzz [options]` runs a [`simfuzz`] campaign — randomized
@@ -37,22 +44,25 @@
 //! (either `--key value` or `key=value`):
 //!
 //! ```text
-//! --seeds N       consecutive seeds to run     default 64
-//! --start N       first seed                   default 0
-//! --queue K       pin one queue (else rotate over all implementations)
-//! --artifacts D   reproducer output directory  default fuzz-artifacts
-//! --repro FILE    replay one artifact instead of running a campaign
+//! --seeds N        consecutive seeds to run     default 64
+//! --start N        first seed                   default 0
+//! --queue K        pin one queue (else rotate over all implementations)
+//! --backend B      sim (default) or native; native runs each plan on
+//!                  real threads AND on the simulator, cross-checking
+//!                  linearizability and the drained dequeue multisets
+//! --artifacts D    reproducer output directory  default fuzz-artifacts
+//! --repro FILE     replay one artifact instead of running a campaign
 //! ```
 //!
 //! Exit status: campaigns exit 1 if any seed failed; `--repro` exits 1
 //! if the artifact no longer reproduces its recorded violation kind.
 
-use bench::simq::{QueueKind, QueueParams};
-use bench::workload::{paper_workload, run_workload, WorkloadKind};
+use bench::workload::{paper_workload, run_workload, run_workload_native, WorkloadKind};
+use harness::{BackendKind, QueueKind, QueueParams};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH]\n       simctl fuzz [--seeds N] [--start N] [--queue K] [--artifacts DIR] [--repro FILE]"
+        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH] [native=0|1]\n       simctl fuzz [--seeds N] [--start N] [--queue K] [--backend sim|native] [--artifacts DIR] [--repro FILE]"
     );
     std::process::exit(2);
 }
@@ -82,6 +92,12 @@ fn fuzz_main(args: &[String]) {
                     eprintln!("unknown queue `{v}`");
                     usage();
                 }))
+            }
+            "backend" => {
+                cfg.backend = BackendKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown backend `{v}`");
+                    usage();
+                })
             }
             "artifacts" => cfg.artifacts_dir = Some(v.into()),
             "repro" => repro = Some(v),
@@ -115,31 +131,37 @@ fn fuzz_main(args: &[String]) {
         return;
     }
 
-    let report = simfuzz::run_campaign(&cfg, |seed, queue, violation| {
-        if let Some(v) = violation {
-            eprintln!("seed {seed} ({queue}): {v}");
+    let report = simfuzz::run_campaign(&cfg, |seed, queue, failure| {
+        if let Some(f) = failure {
+            eprintln!("seed {seed} ({queue}): {f}");
         }
     });
     for f in &report.failures {
-        let p = &f.shrunk.plan;
-        println!(
-            "FAIL seed {} ({}): {} — shrunk to threads={} ops={} in {} runs{}",
-            f.seed,
-            p.queue.name(),
-            f.shrunk.violation,
-            p.threads,
-            p.ops_per_thread,
-            f.shrunk.runs,
-            match &f.artifact {
-                Some(path) => format!(" → {}", path.display()),
-                None => String::new(),
-            }
-        );
+        match &f.shrunk {
+            Some(s) => println!(
+                "FAIL seed {} ({}): {} — shrunk to threads={} ops={} in {} runs{}",
+                f.seed,
+                s.plan.queue.name(),
+                s.violation,
+                s.plan.threads,
+                s.plan.ops_per_thread,
+                s.runs,
+                match &f.artifact {
+                    Some(path) => format!(" → {}", path.display()),
+                    None => String::new(),
+                }
+            ),
+            None => println!(
+                "FAIL seed {}: {} (not reproducible on the simulator; no shrink/artifact)",
+                f.seed, f.kind
+            ),
+        }
     }
     println!(
-        "fuzz: {} seeds ({}), {} failure(s)",
+        "fuzz: {} seeds ({}, backend {}), {} failure(s)",
         report.runs,
         cfg.queue.map_or("all queues", |q| q.name()),
+        cfg.backend.name(),
         report.failures.len()
     );
     if !report.failures.is_empty() {
@@ -154,6 +176,7 @@ fn bench_main(args: &[String]) {
     let mut out = "BENCH_sim.json".to_string();
     let mut tsv_out: Option<String> = None;
     let mut baseline: Option<String> = None;
+    let mut native = false;
     for kv in args {
         let Some((k, v)) = kv.split_once('=') else {
             eprintln!("expected key=value, got `{kv}`");
@@ -166,6 +189,7 @@ fn bench_main(args: &[String]) {
             "out" => out = v.to_string(),
             "tsv-out" => tsv_out = Some(v.to_string()),
             "baseline" => baseline = Some(v.to_string()),
+            "native" => native = v != "0",
             other => {
                 eprintln!("unknown key `{other}`");
                 usage();
@@ -183,7 +207,10 @@ fn bench_main(args: &[String]) {
             std::process::exit(2);
         })
     });
-    let points = bench::wallbench::run_points(scale, reps);
+    let mut points = bench::wallbench::run_points(scale, reps);
+    if native {
+        points.extend(bench::wallbench::native_points(scale, reps));
+    }
     print!("{}", bench::wallbench::to_tsv(&points));
     if let Some(path) = tsv_out {
         std::fs::write(&path, bench::wallbench::to_tsv(&points))
@@ -227,12 +254,20 @@ fn main() {
     let threads: usize = args[2].parse().unwrap_or_else(|_| usage());
 
     let mut ops = 200u64;
+    let mut backend = BackendKind::Sim;
     let mut w = paper_workload(kind, threads, ops);
     for kv in &args[3..] {
         let Some((k, v)) = kv.split_once('=') else {
             eprintln!("expected key=value, got `{kv}`");
             usage();
         };
+        if k == "backend" {
+            backend = BackendKind::parse(v).unwrap_or_else(|| {
+                eprintln!("unknown backend `{v}`");
+                usage();
+            });
+            continue;
+        }
         let n: u64 = v.parse().unwrap_or_else(|_| usage());
         match k {
             "ops" => ops = n,
@@ -261,7 +296,10 @@ fn main() {
     let mut w2 = paper_workload(kind, threads, ops);
     w2.machine = w.machine.clone();
     w2.qp = w.qp;
-    let m = run_workload(queue, &w2);
+    let m = match backend {
+        BackendKind::Sim => run_workload(queue, &w2),
+        BackendKind::Native => run_workload_native(queue, &w2),
+    };
 
     println!("queue\tworkload\tthreads\tlatency_ns\tthroughput_mops\tduration_ns_per_op\ttx_commits\ttx_aborts\ttripped");
     println!(

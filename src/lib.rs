@@ -17,6 +17,7 @@
 //! | [`sbq`] | **the contribution**: TxCAS, scalable basket, SBQ |
 //! | [`baselines`] | MS-Queue, BQ-Original, WF-Queue, CC-Queue |
 //! | [`linearize`] | aspect-oriented queue linearizability checker |
+//! | [`harness`] | backend-generic execution layer: `Backend` trait (sim + native), queue adapters, history recording |
 //! | [`mod@bench`] | workloads + drivers regenerating every paper figure |
 //!
 //! Start with `examples/quickstart.rs` for the production queue API, and
@@ -29,6 +30,7 @@ pub use baselines;
 // name; expose the harness under an explicit alias instead.
 pub use ::bench as bench_harness;
 pub use coherence;
+pub use harness;
 pub use htm;
 pub use linearize;
 pub use sbq;
