@@ -16,9 +16,13 @@
 //! (comma-separated thread counts).
 
 pub mod fig;
-pub mod trace_render;
 pub mod wallbench;
 pub mod workload;
+
+/// Deprecated location: the swim-lane renderer moved to the `obs` crate
+/// with the rest of the presentation/export layer. Re-exported here for
+/// one release so `bench::trace_render::render_lanes` keeps compiling.
+pub use obs::trace_render;
 
 /// Reads a scale knob from the environment.
 pub fn env_u64(name: &str, default: u64) -> u64 {

@@ -23,6 +23,7 @@ use crate::workload::{paper_workload, run_workload, run_workload_native, Workloa
 use absmem::ThreadCtx;
 use coherence::{Machine, MachineConfig, Program, SimCtx};
 use harness::QueueKind;
+use obs::Histogram;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,9 +39,18 @@ pub struct WallPoint {
     pub wall_ns: u64,
     /// Simulated operations per second of host time.
     pub ops_per_sec: f64,
+    /// Rep wall-time distribution (ns) from the log-bucketed histogram
+    /// over *all* reps — best-of alone hides scheduler jitter. Always
+    /// `p50 <= p99 <= max` (`simctl bench-check` enforces this on the
+    /// emitted JSON).
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
 }
 
 impl WallPoint {
+    /// A point from a single wall-time sample (also the legacy-TSV
+    /// fallback): the distribution collapses onto that sample.
     fn new(name: &str, threads: usize, total_ops: u64, wall_ns: u64) -> Self {
         WallPoint {
             name: name.to_string(),
@@ -48,7 +58,20 @@ impl WallPoint {
             total_ops,
             wall_ns,
             ops_per_sec: total_ops as f64 / (wall_ns.max(1) as f64 / 1e9),
+            p50_ns: wall_ns,
+            p99_ns: wall_ns,
+            max_ns: wall_ns,
         }
+    }
+
+    /// A point from the full rep histogram: throughput from the best rep
+    /// (the least-perturbed run), tail fields from the distribution.
+    fn from_hist(name: &str, threads: usize, total_ops: u64, h: &Histogram) -> Self {
+        let mut p = WallPoint::new(name, threads, total_ops, h.min());
+        p.p50_ns = h.p50();
+        p.p99_ns = h.p99();
+        p.max_ns = h.max();
+        p
     }
 }
 
@@ -83,40 +106,43 @@ fn faa_hammer(threads: usize, ops: u64) {
     );
 }
 
-fn best_of<F: FnMut()>(reps: u32, mut f: F) -> u64 {
-    let mut best = u64::MAX;
+/// Times `reps` runs of `f` and returns the wall-time histogram (ns) —
+/// best-of comes out as `min()`, the tail as `p99()`/`max()`.
+fn sample_reps<F: FnMut()>(reps: u32, mut f: F) -> Histogram {
+    let mut h = Histogram::new();
     for _ in 0..reps {
         let t0 = Instant::now();
         f();
-        best = best.min(t0.elapsed().as_nanos() as u64);
+        h.record(t0.elapsed().as_nanos() as u64);
     }
-    best
+    h
 }
 
-/// Runs both fixed shapes, `reps` times each, keeping the best wall time.
+/// Runs both fixed shapes, `reps` times each, keeping the full rep
+/// wall-time distribution per point.
 pub fn run_points(scale: u64, reps: u32) -> Vec<WallPoint> {
     let mut out = Vec::new();
 
     let (threads, ops) = (8usize, 2_500 * scale);
-    let wall = best_of(reps, || faa_hammer(threads, ops));
-    out.push(WallPoint::new(
+    let h = sample_reps(reps, || faa_hammer(threads, ops));
+    out.push(WallPoint::from_hist(
         "fig1_faa",
         threads,
         threads as u64 * ops,
-        wall,
+        &h,
     ));
 
     let (threads, ops) = (8usize, 400 * scale);
     let mut w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
     w.machine.delay_jitter_pct = 0;
-    let wall = best_of(reps, || {
+    let h = sample_reps(reps, || {
         run_workload(QueueKind::SbqHtm, &w);
     });
-    out.push(WallPoint::new(
+    out.push(WallPoint::from_hist(
         "fig5_sbq_producer",
         threads,
         threads as u64 * ops,
-        wall,
+        &h,
     ));
 
     out
@@ -133,14 +159,14 @@ pub fn native_points(scale: u64, reps: u32) -> Vec<WallPoint> {
         .iter()
         .map(|&kind| {
             let w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
-            let wall = best_of(reps, || {
+            let h = sample_reps(reps, || {
                 run_workload_native(kind, &w);
             });
-            WallPoint::new(
+            WallPoint::from_hist(
                 &format!("native_{}", kind.name().to_lowercase().replace('-', "")),
                 threads,
                 threads as u64 * ops,
-                wall,
+                &h,
             )
         })
         .collect()
@@ -148,17 +174,20 @@ pub fn native_points(scale: u64, reps: u32) -> Vec<WallPoint> {
 
 /// TSV rendering — also the `baseline=` interchange format.
 pub fn to_tsv(points: &[WallPoint]) -> String {
-    let mut s = String::from("name\tthreads\ttotal_ops\twall_ns\tops_per_sec\n");
+    let mut s =
+        String::from("name\tthreads\ttotal_ops\twall_ns\tops_per_sec\tp50_ns\tp99_ns\tmax_ns\n");
     for p in points {
         s.push_str(&format!(
-            "{}\t{}\t{}\t{}\t{:.0}\n",
-            p.name, p.threads, p.total_ops, p.wall_ns, p.ops_per_sec
+            "{}\t{}\t{}\t{}\t{:.0}\t{}\t{}\t{}\n",
+            p.name, p.threads, p.total_ops, p.wall_ns, p.ops_per_sec, p.p50_ns, p.p99_ns, p.max_ns
         ));
     }
     s
 }
 
 /// Parses a `to_tsv` capture back into points (header line skipped).
+/// Captures predating the percentile columns still parse: their
+/// distribution collapses onto `wall_ns`.
 pub fn from_tsv(s: &str) -> Option<Vec<WallPoint>> {
     let mut out = Vec::new();
     for line in s.lines().skip(1) {
@@ -169,12 +198,18 @@ pub fn from_tsv(s: &str) -> Option<Vec<WallPoint>> {
         if f.len() < 4 {
             return None;
         }
-        out.push(WallPoint::new(
+        let mut p = WallPoint::new(
             f[0],
             f[1].parse().ok()?,
             f[2].parse().ok()?,
             f[3].parse().ok()?,
-        ));
+        );
+        if f.len() >= 8 {
+            p.p50_ns = f[5].parse().ok()?;
+            p.p99_ns = f[6].parse().ok()?;
+            p.max_ns = f[7].parse().ok()?;
+        }
+        out.push(p);
     }
     Some(out)
 }
@@ -185,8 +220,16 @@ fn json_points(points: &[WallPoint], indent: &str) -> String {
         .map(|p| {
             format!(
                 "{indent}{{\"name\": \"{}\", \"threads\": {}, \"total_ops\": {}, \
-                 \"wall_ns\": {}, \"sim_ops_per_sec\": {:.0}}}",
-                p.name, p.threads, p.total_ops, p.wall_ns, p.ops_per_sec
+                 \"wall_ns\": {}, \"sim_ops_per_sec\": {:.0}, \
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                p.name,
+                p.threads,
+                p.total_ops,
+                p.wall_ns,
+                p.ops_per_sec,
+                p.p50_ns,
+                p.p99_ns,
+                p.max_ns
             )
         })
         .collect();

@@ -13,9 +13,10 @@
 use absmem::ThreadCtx;
 use coherence::MachineConfig;
 use harness::{
-    Backend, Job, NativeBackend, QueueAdapter, QueueKind, QueueParams, QueueVisitor, SimBackend,
-    Substrate,
+    Backend, BackendKind, BackendReport, Job, NativeBackend, QueueAdapter, QueueKind, QueueParams,
+    QueueVisitor, SimBackend, Substrate,
 };
+use obs::{Histogram, InstantKind, ObsSink, SpanKind, TraceMeta};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
@@ -65,6 +66,12 @@ pub struct Measurement {
     pub tx_commits: u64,
     pub tx_aborts: u64,
     pub tripped_writers: u64,
+    /// Per-op latency distribution of the measured phase, ns: median,
+    /// tail, and exact worst case from the merged per-thread histograms
+    /// (mean alone hides the tail the paper's contention effects live in).
+    pub p50_ns: f64,
+    pub p99_ns: f64,
+    pub max_ns: f64,
 }
 
 struct ThreadOut {
@@ -74,6 +81,8 @@ struct ThreadOut {
     /// Measured-phase start and end local times.
     start: u64,
     end: u64,
+    /// Per-op latencies of the measured phase, cycles.
+    hist: Histogram,
 }
 
 /// Runs `w` with queue type `Q` on `backend` and returns the data point.
@@ -81,6 +90,23 @@ struct ThreadOut {
 /// vs. wall-clock-derived), so the ns conversions below hold on either
 /// backend.
 pub fn run_on<B, Q>(backend: &mut B, w: &Workload) -> Measurement
+where
+    B: Backend,
+    Q: QueueAdapter<B::Ctx> + 'static,
+{
+    run_on_obs::<B, Q>(backend, w, None).0
+}
+
+/// [`run_on`], optionally emitting typed spans into an [`ObsSink`] and
+/// returning the backend report (whose simulator trace the Chrome
+/// exporter bridges). Span recording reuses the `ctx.now()` reads the
+/// latency accounting already performs, so attaching a sink cannot
+/// perturb simulated timing.
+pub fn run_on_obs<B, Q>(
+    backend: &mut B,
+    w: &Workload,
+    obs: Option<&Arc<ObsSink>>,
+) -> (Measurement, BackendReport)
 where
     B: Backend,
     Q: QueueAdapter<B::Ctx> + 'static,
@@ -94,10 +120,12 @@ where
         let is_producer = i < w.producers;
         let base = Arc::clone(&base);
         let outs = Arc::clone(&outs);
+        let sink = obs.cloned();
         let w2 = w.clone();
         programs.push(Box::new(move |ctx: &mut B::Ctx| {
             let mut q = Q::attach(base.load(SeqCst), ctx, &w2.qp);
             let tid = ctx.thread_id() as u64;
+            let mut tobs = sink.as_ref().map(|s| s.thread(tid as usize));
             let mut seq = 0u64;
             let mut next_val = || {
                 seq += 1;
@@ -110,21 +138,36 @@ where
                     _ => w2.prefill_per_producer,
                 };
                 for _ in 0..prefill {
-                    q.enqueue(ctx, next_val());
+                    let v = next_val();
+                    let t0 = ctx.now();
+                    q.enqueue(ctx, v);
+                    if let Some(o) = &mut tobs {
+                        o.span(SpanKind::Enqueue, t0, ctx.now(), v);
+                    }
                 }
             }
             ctx.barrier();
+            if let Some(o) = &mut tobs {
+                o.instant(InstantKind::Barrier, ctx.now(), 0);
+            }
             // Phase 2: the measured operations.
             let start = ctx.now();
             let mut lat_sum = 0u64;
             let mut ops = 0u64;
+            let mut hist = Histogram::new();
             match (w2.kind, is_producer) {
                 (WorkloadKind::ProducerOnly, true) | (WorkloadKind::Mixed, true) => {
                     for _ in 0..w2.ops_per_thread {
+                        let v = next_val();
                         let t0 = ctx.now();
-                        q.enqueue(ctx, next_val());
-                        lat_sum += ctx.now() - t0;
+                        q.enqueue(ctx, v);
+                        let t1 = ctx.now();
+                        lat_sum += t1 - t0;
+                        hist.record(t1 - t0);
                         ops += 1;
+                        if let Some(o) = &mut tobs {
+                            o.span(SpanKind::Enqueue, t0, t1, v);
+                        }
                     }
                 }
                 (WorkloadKind::ConsumerOnly, _) | (WorkloadKind::Mixed, false) => {
@@ -132,8 +175,16 @@ where
                     while done < w2.ops_per_thread {
                         let t0 = ctx.now();
                         let r = q.dequeue(ctx);
-                        lat_sum += ctx.now() - t0;
+                        let t1 = ctx.now();
+                        lat_sum += t1 - t0;
+                        hist.record(t1 - t0);
                         ops += 1;
+                        if let Some(o) = &mut tobs {
+                            match r {
+                                Some(v) => o.span(SpanKind::Dequeue, t0, t1, v),
+                                None => o.span(SpanKind::DequeueEmpty, t0, t1, 0),
+                            }
+                        }
                         if r.is_some() {
                             done += 1;
                         }
@@ -142,11 +193,15 @@ where
                 (WorkloadKind::ProducerOnly, false) => unreachable!("no consumers here"),
             }
             let end = ctx.now();
+            if let (Some(s), Some(o)) = (&sink, tobs.take()) {
+                s.submit(o);
+            }
             outs.lock().unwrap().push(ThreadOut {
                 lat_sum,
                 ops,
                 start,
                 end,
+                hist,
             });
         }));
     }
@@ -167,7 +222,11 @@ where
     let t_start = outs.iter().map(|o| o.start).min().unwrap();
     let t_end = outs.iter().map(|o| o.end).max().unwrap();
     let duration = (t_end - t_start).max(1);
-    Measurement {
+    let mut hist = Histogram::new();
+    for o in outs.iter() {
+        hist.merge(&o.hist);
+    }
+    let m = Measurement {
         queue: Q::NAME,
         threads: nthreads,
         latency_ns: coherence::cycles_to_ns(lat_sum) / total_ops as f64,
@@ -176,7 +235,11 @@ where
         tx_commits: report.tx_commits(),
         tx_aborts: report.tx_aborts(),
         tripped_writers: report.tripped_writers(),
-    }
+        p50_ns: coherence::cycles_to_ns(hist.p50()),
+        p99_ns: coherence::cycles_to_ns(hist.p99()),
+        max_ns: coherence::cycles_to_ns(hist.max()),
+    };
+    (m, report)
 }
 
 struct WorkloadDriver<'a, B: Backend> {
@@ -218,6 +281,83 @@ pub fn run_workload_native(kind: QueueKind, w: &Workload) -> Measurement {
         backend: &mut backend,
         w,
     })
+}
+
+/// One traced run: the data point plus the Chrome trace-event JSON
+/// document covering it.
+#[derive(Debug)]
+pub struct TracedRun {
+    pub measurement: Measurement,
+    /// Chrome trace-event JSON (load in Perfetto / `chrome://tracing`).
+    pub chrome_json: String,
+    /// The same spans as TSV (`tid name ts dur arg`).
+    pub tsv: String,
+}
+
+struct TraceDriver<'a, B: Backend> {
+    backend: &'a mut B,
+    w: &'a Workload,
+    sink: &'a Arc<ObsSink>,
+}
+
+impl<B> QueueVisitor<B::Ctx> for TraceDriver<'_, B>
+where
+    B: Backend,
+    B::Ctx: Substrate,
+{
+    type Out = (Measurement, BackendReport);
+
+    fn visit<Q: QueueAdapter<B::Ctx> + 'static>(self) -> (Measurement, BackendReport) {
+        run_on_obs::<B, Q>(self.backend, self.w, Some(self.sink))
+    }
+}
+
+/// Runs `w` once with observability attached and exports the run as a
+/// Chrome trace. On the simulator the machine's coherence/HTM trace is
+/// switched on and bridged onto the Dir track, and the document is a
+/// pure function of the workload (byte-identical across runs); on native
+/// only the per-thread op spans exist and timings are wall-clock.
+pub fn trace_workload(kind: QueueKind, w: &Workload, backend: BackendKind) -> TracedRun {
+    let sink = Arc::new(ObsSink::default());
+    let (measurement, report) = match backend {
+        BackendKind::Sim => {
+            let nthreads = w.producers + w.consumers;
+            assert!(
+                nthreads <= w.machine.cores,
+                "workload exceeds machine cores"
+            );
+            let mut cfg = w.machine.clone();
+            cfg.trace = true;
+            let mut b = SimBackend::new(cfg);
+            kind.visit::<coherence::SimCtx, _>(TraceDriver {
+                backend: &mut b,
+                w,
+                sink: &sink,
+            })
+        }
+        BackendKind::Native => {
+            let mut b = NativeBackend::default();
+            kind.visit::<absmem::native::NativeCtx, _>(TraceDriver {
+                backend: &mut b,
+                w,
+                sink: &sink,
+            })
+        }
+    };
+    let sim_trace = report.sim.map(|r| r.trace).unwrap_or_default();
+    let logs = sink.take_logs();
+    let meta = TraceMeta {
+        backend: backend.name(),
+        label: format!(
+            "{} {:?} {}p+{}c",
+            measurement.queue, w.kind, w.producers, w.consumers
+        ),
+    };
+    TracedRun {
+        chrome_json: obs::export(&logs, &sim_trace, &meta),
+        tsv: obs::export_tsv(&logs),
+        measurement,
+    }
 }
 
 /// Runs `w` on the simulator with a statically chosen queue type (for

@@ -9,6 +9,7 @@ use crate::backend::{Backend, BackendReport, Job};
 use crate::queues::{QueueAdapter, QueueKind, QueueParams, QueueVisitor, Substrate};
 use absmem::ThreadCtx;
 use linearize::{Event, Op, Recorder};
+use obs::{InstantKind, ObsSink, SpanKind};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
@@ -25,6 +26,24 @@ pub struct DriveSpec {
     /// dequeued multiset equals the enqueued multiset, a
     /// schedule-independent fact used to cross-check backends.
     pub drain: bool,
+    /// Optional observability sink. When set, every operation is also
+    /// recorded as a typed span (plus barrier instants) using the *same*
+    /// `invoke`/`ret` timestamps the history recorder reads — no extra
+    /// backend interaction, so enabling observability cannot perturb the
+    /// run (`tests/obs_trace.rs` pins this).
+    pub obs: Option<Arc<ObsSink>>,
+}
+
+impl DriveSpec {
+    /// A spec without observability (the common case).
+    pub fn new(params: QueueParams, ops: Vec<Vec<bool>>, drain: bool) -> DriveSpec {
+        DriveSpec {
+            params,
+            ops,
+            drain,
+            obs: None,
+        }
+    }
 }
 
 /// Result of a history-recording run.
@@ -128,36 +147,64 @@ where
             let ops = ops.clone();
             let base = Arc::clone(&base);
             let recorders = Arc::clone(&recorders);
+            let sink = spec.obs.clone();
             Box::new(move |ctx: &mut B::Ctx| {
                 let mut q = Q::attach(base.load(SeqCst), ctx, &qp);
                 let tid = ctx.thread_id();
                 let mut rec = Recorder::new();
+                let mut tobs = sink.as_ref().map(|s| s.thread(tid));
                 let mut seq = 0u64;
                 ctx.barrier();
+                if let Some(o) = &mut tobs {
+                    o.instant(InstantKind::Barrier, ctx.now(), 0);
+                }
                 for &is_enq in &ops {
                     let invoke = ctx.now();
                     if is_enq {
                         seq += 1;
                         let v = history_value(tid, seq);
                         q.enqueue(ctx, v);
-                        rec.record(tid, Op::Enq(v), invoke, ctx.now());
+                        let ret = ctx.now();
+                        rec.record(tid, Op::Enq(v), invoke, ret);
+                        if let Some(o) = &mut tobs {
+                            o.span(SpanKind::Enqueue, invoke, ret, v);
+                        }
                     } else {
                         let op = match q.dequeue(ctx) {
                             Some(v) => Op::DeqSome(v),
                             None => Op::DeqNull,
                         };
-                        rec.record(tid, op, invoke, ctx.now());
+                        let ret = ctx.now();
+                        if let Some(o) = &mut tobs {
+                            match op {
+                                Op::DeqSome(v) => o.span(SpanKind::Dequeue, invoke, ret, v),
+                                _ => o.span(SpanKind::DequeueEmpty, invoke, ret, 0),
+                            }
+                        }
+                        rec.record(tid, op, invoke, ret);
                     }
                 }
                 if drain {
                     ctx.barrier();
+                    if let Some(o) = &mut tobs {
+                        o.instant(InstantKind::Barrier, ctx.now(), 0);
+                    }
                     loop {
                         let invoke = ctx.now();
                         match q.dequeue(ctx) {
-                            Some(v) => rec.record(tid, Op::DeqSome(v), invoke, ctx.now()),
+                            Some(v) => {
+                                let ret = ctx.now();
+                                rec.record(tid, Op::DeqSome(v), invoke, ret);
+                                if let Some(o) = &mut tobs {
+                                    o.span(SpanKind::Drain, invoke, ret, v);
+                                }
+                            }
                             None => break,
                         }
                     }
+                }
+                if let (Some(s), Some(o)) = (&sink, tobs.take()) {
+                    s.submit(o);
                 }
                 recorders.lock().unwrap().push(rec);
             }) as Job<B::Ctx>

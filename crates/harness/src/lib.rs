@@ -21,7 +21,10 @@
 //!   exists and `DelayedCas` where it does not.
 //! - [`history`]: [`record_history`] — the one copy of the
 //!   attach/barrier/drive/record loop, plus canonical sorting and
-//!   digesting of the merged history.
+//!   digesting of the merged history. A [`DriveSpec`] may carry an
+//!   `obs::ObsSink`, in which case the same loop also emits typed
+//!   observability spans on either backend (off by default; recording
+//!   reuses the history timestamps, so it cannot perturb the run).
 //! - [`calibrate`]: the shared native busy-wait calibration behind
 //!   `ThreadCtx::delay`.
 

@@ -81,11 +81,7 @@ fn faa_program_agrees_across_backends() {
 /// both backends, and the drained dequeue multisets agree.
 #[test]
 fn recorded_histories_are_linearizable_on_both_backends() {
-    let spec = || DriveSpec {
-        params: QueueParams::default(),
-        ops: mixed_ops(THREADS, 20, 3),
-        drain: true,
-    };
+    let spec = || DriveSpec::new(QueueParams::default(), mixed_ops(THREADS, 20, 3), true);
 
     let mut sim = SimBackend::new(MachineConfig::single_socket(THREADS));
     let sim_out = record_history(&mut sim, QueueKind::MsQueue, spec());

@@ -1,0 +1,161 @@
+//! Typed observability events.
+//!
+//! An event is either a **span** (an operation with an execution
+//! interval) or an **instant** (a point occurrence). Both carry
+//! timestamps in *cycles* — simulated cycles on the coherence backend,
+//! wall-clock cycles at the nominal 2.2 GHz on native — and a 64-bit
+//! payload word whose meaning depends on the kind (enqueued value, abort
+//! status, ...). Kinds are closed enums rather than free-form strings so
+//! recording is a couple of word writes and rendering is a table lookup:
+//! no formatting, hashing, or allocation happens on the hot path.
+
+/// What a recorded span was doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A queue enqueue; payload = enqueued value.
+    Enqueue,
+    /// A queue dequeue that returned a value; payload = dequeued value.
+    Dequeue,
+    /// A queue dequeue that found the queue empty; payload = 0.
+    DequeueEmpty,
+    /// A post-barrier drain dequeue; payload = dequeued value.
+    Drain,
+    /// A generic measured operation (workload phases, setup); payload
+    /// free.
+    Op,
+}
+
+impl SpanKind {
+    /// Stable lowercase name — the Chrome-trace event name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Enqueue => "enqueue",
+            SpanKind::Dequeue => "dequeue",
+            SpanKind::DequeueEmpty => "dequeue-empty",
+            SpanKind::Drain => "drain-dequeue",
+            SpanKind::Op => "op",
+        }
+    }
+}
+
+/// A point occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstantKind {
+    /// A CAS (or CAS-strategy) attempt succeeded; payload = address.
+    CasOk,
+    /// A CAS attempt failed; payload = address.
+    CasFail,
+    /// An HTM transaction committed; payload = 0.
+    TxCommit,
+    /// An HTM transaction aborted; payload = RTM-style status word.
+    TxAbort,
+    /// The thread passed a phase barrier (scheduler rendezvous/yield
+    /// point); payload = 0.
+    Barrier,
+    /// The scheduler yielded/perturbed this thread; payload free.
+    SchedYield,
+}
+
+impl InstantKind {
+    /// Stable lowercase name — the Chrome-trace event name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstantKind::CasOk => "cas-ok",
+            InstantKind::CasFail => "cas-fail",
+            InstantKind::TxCommit => "tx-commit",
+            InstantKind::TxAbort => "tx-abort",
+            InstantKind::Barrier => "barrier",
+            InstantKind::SchedYield => "sched-yield",
+        }
+    }
+}
+
+/// One recorded event. Two machine words of payload plus the tag: small
+/// enough that a ring of tens of thousands costs a few hundred KiB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// An operation spanning `[start, end]` cycles.
+    Span {
+        kind: SpanKind,
+        start: u64,
+        end: u64,
+        /// Kind-dependent payload (enqueued/dequeued value, ...).
+        arg: u64,
+    },
+    /// A point occurrence at `ts` cycles.
+    Instant {
+        kind: InstantKind,
+        ts: u64,
+        /// Kind-dependent payload (abort status, address, ...).
+        arg: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The event's primary timestamp (span start / instant time), used
+    /// for canonical ordering.
+    pub fn ts(&self) -> u64 {
+        match *self {
+            ObsEvent::Span { start, .. } => start,
+            ObsEvent::Instant { ts, .. } => ts,
+        }
+    }
+
+    /// The event's name as it appears in exported traces.
+    pub fn name(&self) -> &'static str {
+        match *self {
+            ObsEvent::Span { kind, .. } => kind.name(),
+            ObsEvent::Instant { kind, .. } => kind.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let spans = [
+            SpanKind::Enqueue,
+            SpanKind::Dequeue,
+            SpanKind::DequeueEmpty,
+            SpanKind::Drain,
+            SpanKind::Op,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for s in spans {
+            assert!(seen.insert(s.name()));
+        }
+        let instants = [
+            InstantKind::CasOk,
+            InstantKind::CasFail,
+            InstantKind::TxCommit,
+            InstantKind::TxAbort,
+            InstantKind::Barrier,
+            InstantKind::SchedYield,
+        ];
+        for i in instants {
+            assert!(seen.insert(i.name()));
+        }
+    }
+
+    #[test]
+    fn ts_reads_the_right_field() {
+        let s = ObsEvent::Span {
+            kind: SpanKind::Enqueue,
+            start: 10,
+            end: 20,
+            arg: 7,
+        };
+        let i = ObsEvent::Instant {
+            kind: InstantKind::Barrier,
+            ts: 33,
+            arg: 0,
+        };
+        assert_eq!(s.ts(), 10);
+        assert_eq!(i.ts(), 33);
+        assert_eq!(s.name(), "enqueue");
+        assert_eq!(i.name(), "barrier");
+    }
+}

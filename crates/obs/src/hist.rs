@@ -1,0 +1,316 @@
+//! Log-bucketed latency histograms (in-tree; the workspace builds with
+//! no external registry).
+//!
+//! The layout is HDR-style: values below [`SUB`] are recorded exactly;
+//! above that, each power-of-two octave is split into [`SUB`] equal
+//! sub-buckets, so the relative quantization error is bounded by
+//! `1/SUB` (3.2%) across the full `u64` range. The whole table is
+//! `60 × 32` buckets — 15 KiB — so a histogram per thread per span kind
+//! is cheap.
+//!
+//! Recording is a branch, a `leading_zeros`, and one add; merging adds
+//! counts bucket-by-bucket and is therefore **exact**: merging per-thread
+//! histograms in any grouping or order yields bit-identical state to
+//! recording every sample into one histogram (the merge-associativity
+//! property test pins this).
+
+/// Sub-buckets per octave; also the exact-value threshold.
+pub const SUB: usize = 32;
+const SUB_BITS: u64 = 5;
+/// Total buckets: indices `0..SUB` exact, then one `SUB`-wide group per
+/// octave `2^5 ..= 2^63`.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// Maps a value to its bucket index. Monotone and total on `u64`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros() as u64; // v in [2^e, 2^(e+1)), e >= 5
+        let sub = ((v >> (e - SUB_BITS)) as usize) & (SUB - 1);
+        (e as usize - SUB_BITS as usize + 1) * SUB + sub
+    }
+}
+
+/// The lower bound of bucket `i` — the value [`Histogram::quantile`]
+/// reports, so estimates never exceed the exact quantile.
+#[inline]
+fn bucket_lower_bound(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let group = (i / SUB) as u64; // e - SUB_BITS + 1
+        let sub = (i % SUB) as u64;
+        let e = group + SUB_BITS - 1;
+        (SUB as u64 + sub) << (e - SUB_BITS)
+    }
+}
+
+/// A fixed-size log-bucketed histogram of `u64` samples.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of value `v`.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum = self.sum.wrapping_add(v.wrapping_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Exact: bucket counts add, so any merge
+    /// tree over the same samples produces identical state.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (wrapping).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample — exact, not bucketed.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the lower bound of the bucket
+    /// holding the rank-`⌈q·count⌉` sample: at most the exact quantile,
+    /// and within a `1/SUB` relative error of it. Returns 0 on an empty
+    /// histogram; `q = 1.0` reports the exact maximum.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(i).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Renders the non-empty buckets as TSV (`bucket_lo  count`), plus a
+    /// summary header line — the machine-readable export.
+    pub fn to_tsv(&self) -> String {
+        let mut s = format!(
+            "# count={} sum={} min={} p50={} p90={} p99={} p999={} max={}\n",
+            self.count,
+            self.sum,
+            self.min(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.p999(),
+            self.max
+        );
+        s.push_str("bucket_lo\tcount\n");
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                s.push_str(&format!("{}\t{}\n", bucket_lower_bound(i), c));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous_at_seams() {
+        let mut last = 0usize;
+        for v in 0..4096u64 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index regressed at {v}");
+            assert!(i - last <= 1, "index skipped at {v}");
+            last = i;
+        }
+        // Lower bound inverts the index at every bucket start.
+        for i in 0..BUCKETS {
+            let lb = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lb), i, "lb not in bucket {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB as u64 {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9] {
+            let exact = ((q * SUB as f64).ceil() as u64).max(1) - 1;
+            assert_eq!(h.quantile(q), exact);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB as u64 - 1);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(x >> 40);
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max());
+        assert!(h.min() <= h.p50());
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_recording() {
+        let vals: Vec<u64> = (0..500).map(|i| i * i % 10_007).collect();
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in vals.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+        assert_eq!(a.to_tsv(), whole.to_tsv());
+    }
+
+    #[test]
+    fn tsv_contains_summary_and_buckets() {
+        let mut h = Histogram::new();
+        h.record_n(100, 3);
+        let tsv = h.to_tsv();
+        assert!(tsv.starts_with("# count=3"));
+        assert!(tsv.contains("bucket_lo\tcount"));
+        // 100 lies in [96, 100): octave 6, width 2 — lower bound 100.
+        assert!(tsv.contains("100\t3"), "{tsv}");
+    }
+}

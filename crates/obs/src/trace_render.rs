@@ -10,8 +10,10 @@
 //! ```
 //!
 //! Used by the `figures` binary (`fig2 --render`, `fig3 --render`) and
-//! the `coherence_trace` example; the plain TSV output remains the
-//! machine-readable form.
+//! the `coherence_trace` example; the Chrome trace-event export
+//! ([`crate::chrome`]) and TSV are the machine-readable forms.
+//! (Moved here from `bench`, which re-exports it for one release, so
+//! figure rendering and the exporters live in one crate.)
 
 use coherence::TraceEvent;
 use std::collections::BTreeMap;

@@ -1,0 +1,154 @@
+//! Property tests for the log-bucketed histogram: bucketed quantiles
+//! against an exact sorted-sample reference across assorted random
+//! distributions, and bit-exact merge associativity.
+//!
+//! The quantile contract under test (see `obs::hist`): the estimate is
+//! the lower bound of the bucket holding the rank-`⌈q·n⌉` sample, so
+//! `estimate <= exact` always, and `exact - estimate` is bounded by the
+//! bucket width — at most `exact / SUB` (values below `SUB` are exact).
+
+use obs::hist::SUB;
+use obs::Histogram;
+use simrng::SimRng;
+
+const QS: [f64; 8] = [0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 0.999];
+
+/// Exact `q`-quantile under the same rank convention the histogram uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn check_against_reference(tag: &str, samples: &[u64]) {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(h.count(), samples.len() as u64, "{tag}: count");
+    assert_eq!(h.min(), sorted[0], "{tag}: min is exact");
+    assert_eq!(h.max(), *sorted.last().unwrap(), "{tag}: max is exact");
+    assert_eq!(h.quantile(1.0), h.max(), "{tag}: q=1 reports the max");
+    for q in QS {
+        let est = h.quantile(q);
+        let exact = exact_quantile(&sorted, q);
+        assert!(
+            est <= exact,
+            "{tag}: q={q}: estimate {est} above exact {exact}"
+        );
+        assert!(
+            exact - est <= exact / SUB as u64 + 1,
+            "{tag}: q={q}: estimate {est} off exact {exact} by more than 1/{SUB}"
+        );
+    }
+    // Quantiles are monotone in q.
+    for w in QS.windows(2) {
+        assert!(
+            h.quantile(w[0]) <= h.quantile(w[1]),
+            "{tag}: quantiles not monotone at {w:?}"
+        );
+    }
+}
+
+fn uniform(rng: &mut SimRng, n: usize, lo: u64, hi: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range_inclusive(lo, hi)).collect()
+}
+
+/// Power-law-ish: a uniform mantissa scaled into a geometrically chosen
+/// octave — the latency-like shape (dense head, long tail) the histogram
+/// exists for.
+fn power_law(rng: &mut SimRng, n: usize, max_shift: u64) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let shift = rng.gen_range_inclusive(0, max_shift);
+            rng.gen_range_inclusive(1, 255) << shift
+        })
+        .collect()
+}
+
+#[test]
+fn quantiles_track_exact_reference_across_distributions() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x0b5e_55ed);
+        check_against_reference("tiny-exact", &uniform(&mut rng, 500, 0, SUB as u64 - 1));
+        check_against_reference("small", &uniform(&mut rng, 1_000, 0, 1_000));
+        check_against_reference("wide", &uniform(&mut rng, 2_000, 0, 1 << 48));
+        check_against_reference("power-law", &power_law(&mut rng, 1_500, 50));
+        check_against_reference("constant", &vec![rng.gen_range_inclusive(1, 1 << 40); 300]);
+        // Bimodal: fast path plus rare slow outliers.
+        let mut bimodal = uniform(&mut rng, 990, 100, 200);
+        bimodal.extend(uniform(&mut rng, 10, 1 << 30, 1 << 31));
+        check_against_reference("bimodal", &bimodal);
+    }
+}
+
+#[test]
+fn single_sample_is_every_quantile() {
+    for v in [0u64, 1, 31, 32, 1000, u64::MAX] {
+        let mut h = Histogram::new();
+        h.record(v);
+        for q in QS {
+            // One sample: estimate is its bucket floor, clamped to min=v.
+            assert_eq!(h.quantile(q), v, "v={v} q={q}");
+        }
+        assert_eq!(h.max(), v);
+    }
+}
+
+/// Bit-exact view of histogram state for equality assertions.
+fn state(h: &Histogram) -> (u64, u64, u64, u64, String) {
+    (h.count(), h.sum(), h.min(), h.max(), h.to_tsv())
+}
+
+#[test]
+fn merge_is_associative_and_matches_single_recording() {
+    for seed in 0..8u64 {
+        let mut rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let samples = power_law(&mut rng, 2_000, 40);
+
+        // Random 3-way partition.
+        let mut parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+        let mut whole = Histogram::new();
+        for &v in &samples {
+            parts[rng.gen_range_inclusive(0, 2) as usize].record(v);
+            whole.record(v);
+        }
+        let [a, b, c] = parts;
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut right_inner = b.clone();
+        right_inner.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_inner);
+
+        assert_eq!(state(&left), state(&right), "seed {seed}: associativity");
+        assert_eq!(
+            state(&left),
+            state(&whole),
+            "seed {seed}: merge differs from single recording"
+        );
+        for q in QS {
+            assert_eq!(left.quantile(q), whole.quantile(q), "seed {seed} q={q}");
+        }
+    }
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    let mut rng = SimRng::seed_from_u64(7);
+    let mut h = Histogram::new();
+    for &v in &uniform(&mut rng, 200, 0, 1 << 20) {
+        h.record(v);
+    }
+    let before = state(&h);
+    h.merge(&Histogram::new());
+    assert_eq!(state(&h), before);
+    let mut empty = Histogram::new();
+    empty.merge(&h);
+    assert_eq!(state(&empty), before);
+}

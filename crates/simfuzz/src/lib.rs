@@ -42,7 +42,8 @@ pub use artifact::{
 pub use harness::{BackendKind, QueueKind, QueueParams};
 pub use plan::{FuzzPlan, FUZZ_QUEUES};
 pub use run::{
-    crosscheck_plan, run_plan, run_plan_native, run_plan_sim, CrosscheckOutcome, RunOutcome,
+    crosscheck_plan, run_plan, run_plan_native, run_plan_sim, trace_plan, CrosscheckOutcome,
+    RunOutcome,
 };
 pub use shrink::{shrink_plan, ShrinkOutcome, DEFAULT_SHRINK_BUDGET};
 
@@ -121,6 +122,10 @@ pub struct CampaignFailure {
     /// Artifact path, if the failure was shrunk, an artifacts dir was
     /// configured, and the write succeeded.
     pub artifact: Option<PathBuf>,
+    /// Chrome trace of the shrunk plan (`<artifact>.trace`), written
+    /// beside the reproducer so the violating schedule can be inspected
+    /// on a timeline (Perfetto / `chrome://tracing`).
+    pub trace: Option<PathBuf>,
 }
 
 /// Campaign result.
@@ -179,15 +184,25 @@ pub fn run_campaign(
         // it reproduces (and hence shrinks) every sim failure, while a
         // native-only failure yields `None` and is reported as-is.
         let shrunk = shrink_plan(&plan, DEFAULT_SHRINK_BUDGET);
-        let artifact = match (&shrunk, cfg.artifacts_dir.as_deref()) {
-            (Some(s), Some(dir)) => write_artifact(dir, &s.plan, &s.violation, &s.witness).ok(),
-            _ => None,
+        let (artifact, trace) = match (&shrunk, cfg.artifacts_dir.as_deref()) {
+            (Some(s), Some(dir)) => {
+                let artifact = write_artifact(dir, &s.plan, &s.violation, &s.witness).ok();
+                // The timeline companion: the shrunk plan re-run with
+                // observability on (which cannot change the schedule).
+                let trace = artifact.as_ref().and_then(|p| {
+                    let tp = p.with_extension("trace");
+                    std::fs::write(&tp, trace_plan(&s.plan)).ok().map(|()| tp)
+                });
+                (artifact, trace)
+            }
+            _ => (None, None),
         };
         report.failures.push(CampaignFailure {
             seed,
             kind,
             shrunk,
             artifact,
+            trace,
         });
     }
     report

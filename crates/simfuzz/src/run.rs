@@ -22,7 +22,9 @@ use harness::{
     SimBackend,
 };
 use linearize::{check_queue_linearizable, Event, Violation};
+use obs::{ObsSink, TraceMeta};
 use sbq::txcas::TxCasParams;
+use std::sync::Arc;
 
 /// Result of one fuzz run.
 #[derive(Debug)]
@@ -59,11 +61,11 @@ fn queue_params(plan: &FuzzPlan) -> QueueParams {
 }
 
 fn spec(plan: &FuzzPlan, drain: bool) -> DriveSpec {
-    DriveSpec {
-        params: queue_params(plan),
-        ops: (0..plan.threads).map(|t| plan.thread_ops(t)).collect(),
+    DriveSpec::new(
+        queue_params(plan),
+        (0..plan.threads).map(|t| plan.thread_ops(t)).collect(),
         drain,
-    }
+    )
 }
 
 fn sim_fingerprint(report: &RunReport, history: &[Event]) -> String {
@@ -105,6 +107,34 @@ pub fn run_plan_sim(plan: &FuzzPlan, drain: bool) -> RunOutcome {
         fingerprint,
         end_time: report.end_time,
     }
+}
+
+/// Re-runs one plan on the simulator with observability attached (op
+/// spans per core plus the machine's coherence/HTM trace) and returns
+/// the Chrome trace-event JSON document — the campaign writes this next
+/// to each `.repro` so a violation can be *looked at* on a timeline,
+/// not just replayed. Uses the same no-drain shape as [`run_plan`], so
+/// the traced schedule is exactly the one the violation was found on
+/// (recording cannot perturb simulated timing).
+pub fn trace_plan(plan: &FuzzPlan) -> String {
+    let mut cfg = plan.machine();
+    cfg.trace = true;
+    let mut backend = SimBackend::new(cfg);
+    let sink = Arc::new(ObsSink::default());
+    let mut s = spec(plan, false);
+    s.obs = Some(Arc::clone(&sink));
+    let out = record_history(&mut backend, plan.queue, s);
+    let report = out.report.sim.expect("sim backend always carries a report");
+    let meta = TraceMeta {
+        backend: "sim",
+        label: format!(
+            "fuzz {} seed {} ({} threads)",
+            plan.queue.name(),
+            plan.seed,
+            plan.threads
+        ),
+    };
+    obs::export(&sink.take_logs(), &report.trace, &meta)
 }
 
 /// Runs one plan on native atomics (real OS threads). The plan's

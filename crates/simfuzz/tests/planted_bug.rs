@@ -85,6 +85,34 @@ fn campaign_finds_shrinks_and_replays_the_planted_bug() {
         r1.violation
     );
     assert_eq!(r1.fingerprint, r2.fingerprint);
+
+    // A Chrome trace of the violating run sits next to the reproducer,
+    // parses against the trace schema, and actually shows the violating
+    // operations: dequeue spans, and the duplicated value as a span arg.
+    let tpath = f.trace.as_ref().expect("trace written beside artifact");
+    assert_eq!(tpath.extension().and_then(|e| e.to_str()), Some("trace"));
+    let text = std::fs::read_to_string(tpath).expect("trace readable");
+    let sum = obs::validate(&text).expect("trace validates against the schema");
+    assert!(sum.spans > 0, "trace has no op spans: {sum:?}");
+    assert!(
+        sum.names.contains("dequeue"),
+        "violating dequeue spans missing from trace: {:?}",
+        sum.names
+    );
+    assert!(
+        sum.names.contains("enqueue"),
+        "enqueue spans missing from trace: {:?}",
+        sum.names
+    );
+    let Violation::Repeat { value } = shrunk.violation else {
+        unreachable!("asserted Repeat above");
+    };
+    assert!(
+        text.contains(&format!("\"v\":\"{value:#x}\"")),
+        "duplicated value {value:#x} not visible in trace args"
+    );
+    // Same plan, same simulation: the trace is byte-stable.
+    assert_eq!(text, simfuzz::trace_plan(&shrunk.plan));
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -38,6 +38,27 @@
 //! native   also run the native wall-clock series (0/1, default 0)
 //! ```
 //!
+//! `simctl trace <queue> <workload> <threads> [key=value ...]` runs the
+//! workload once with observability attached and writes a Chrome
+//! trace-event JSON document (open in Perfetto or `chrome://tracing`).
+//! It accepts every single-run key above plus:
+//!
+//! ```text
+//! out      trace output path    default TRACE_<queue>_<backend>.json
+//! tsv-out  also write the span TSV here (optional)
+//! ```
+//!
+//! On the simulator the document additionally carries the coherence
+//! message trace (a `Dir` track plus per-core message/HTM instants) and
+//! is byte-identical across runs of the same configuration; on native
+//! only the per-thread op spans exist. The document is validated against
+//! the trace schema before it is written.
+//!
+//! `simctl trace-validate <file>` re-validates any such document and
+//! prints a summary (exit 1 if invalid); `simctl bench-check <file>`
+//! checks a `BENCH_sim.json` for the per-point latency-distribution
+//! fields (`p50_ns <= p99_ns <= max_ns`, exit 1 on violation).
+//!
 //! `simctl fuzz [options]` runs a [`simfuzz`] campaign — randomized
 //! workloads with fault injection, every history linearizability-checked;
 //! failures are shrunk and written as replayable artifacts. Options
@@ -56,15 +77,102 @@
 //!
 //! Exit status: campaigns exit 1 if any seed failed; `--repro` exits 1
 //! if the artifact no longer reproduces its recorded violation kind.
+//! Each shrunk failure also gets a `<artifact>.trace` Chrome trace of
+//! the violating run, written beside the `.repro`.
 
-use bench::workload::{paper_workload, run_workload, run_workload_native, WorkloadKind};
+use bench::workload::{
+    paper_workload, run_workload, run_workload_native, trace_workload, Workload, WorkloadKind,
+};
 use harness::{BackendKind, QueueKind, QueueParams};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH] [native=0|1]\n       simctl fuzz [--seeds N] [--start N] [--queue K] [--backend sim|native] [--artifacts DIR] [--repro FILE]"
+        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl trace <queue> <workload> <threads> [key=value ...] [out=PATH] [tsv-out=PATH]\n       simctl trace-validate <file.json>\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH] [native=0|1]\n       simctl bench-check <file.json>\n       simctl fuzz [--seeds N] [--start N] [--queue K] [--backend sim|native] [--artifacts DIR] [--repro FILE]"
     );
     std::process::exit(2);
+}
+
+/// One parsed `<queue> <workload> <threads> [key=value ...]` run request.
+struct RunSpec {
+    queue: QueueKind,
+    kind: WorkloadKind,
+    backend: BackendKind,
+    w: Workload,
+}
+
+/// Parses the shared single-run grammar. Keys the caller recognizes are
+/// routed through `extra` first (return `true` to consume).
+fn parse_run_spec(args: &[String], mut extra: impl FnMut(&str, &str) -> bool) -> RunSpec {
+    if args.len() < 3 {
+        usage();
+    }
+    let Some(queue) = QueueKind::parse(&args[0]) else {
+        eprintln!("unknown queue `{}`", args[0]);
+        usage();
+    };
+    let kind = match args[1].as_str() {
+        "producer" | "producer-only" | "enq" => WorkloadKind::ProducerOnly,
+        "consumer" | "consumer-only" | "deq" => WorkloadKind::ConsumerOnly,
+        "mixed" => WorkloadKind::Mixed,
+        other => {
+            eprintln!("unknown workload `{other}`");
+            usage();
+        }
+    };
+    let threads: usize = args[2].parse().unwrap_or_else(|_| usage());
+
+    let mut ops = 200u64;
+    let mut backend = BackendKind::Sim;
+    let mut w = paper_workload(kind, threads, ops);
+    for kv in &args[3..] {
+        let Some((k, v)) = kv.split_once('=') else {
+            eprintln!("expected key=value, got `{kv}`");
+            usage();
+        };
+        if extra(k, v) {
+            continue;
+        }
+        if k == "backend" {
+            backend = BackendKind::parse(v).unwrap_or_else(|| {
+                eprintln!("unknown backend `{v}`");
+                usage();
+            });
+            continue;
+        }
+        let n: u64 = v.parse().unwrap_or_else(|_| usage());
+        match k {
+            "ops" => ops = n,
+            "hop" => w.machine.hop_intra = n,
+            "hop-cross" => w.machine.hop_cross = n,
+            "delay" => {
+                w.qp.txcas.intra_delay = n;
+                w.qp.delay_cycles = n;
+            }
+            "basket" => {
+                w.qp.basket_capacity = n as usize;
+                w.qp = QueueParams {
+                    enqueuers: w.qp.enqueuers.min(n as usize),
+                    ..w.qp
+                };
+            }
+            "fix" => w.machine.microarch_fix = n != 0,
+            "seed" => w.machine.seed = n,
+            other => {
+                eprintln!("unknown key `{other}`");
+                usage();
+            }
+        }
+    }
+    // Re-derive ops-dependent fields with the final value.
+    let mut w2 = paper_workload(kind, threads, ops);
+    w2.machine = w.machine.clone();
+    w2.qp = w.qp;
+    RunSpec {
+        queue,
+        kind,
+        backend,
+        w: w2,
+    }
 }
 
 fn fuzz_main(args: &[String]) {
@@ -146,9 +254,11 @@ fn fuzz_main(args: &[String]) {
                 s.plan.threads,
                 s.plan.ops_per_thread,
                 s.runs,
-                match &f.artifact {
-                    Some(path) => format!(" → {}", path.display()),
-                    None => String::new(),
+                match (&f.artifact, &f.trace) {
+                    (Some(path), Some(trace)) =>
+                        format!(" → {} (trace: {})", path.display(), trace.display()),
+                    (Some(path), None) => format!(" → {}", path.display()),
+                    _ => String::new(),
                 }
             ),
             None => println!(
@@ -225,93 +335,158 @@ fn bench_main(args: &[String]) {
     eprintln!("wrote {out}");
 }
 
+fn trace_main(args: &[String]) {
+    let mut out: Option<String> = None;
+    let mut tsv_out: Option<String> = None;
+    let spec = parse_run_spec(args, |k, v| match k {
+        "out" => {
+            out = Some(v.to_string());
+            true
+        }
+        "tsv-out" => {
+            tsv_out = Some(v.to_string());
+            true
+        }
+        _ => false,
+    });
+    let out = out.unwrap_or_else(|| {
+        format!(
+            "TRACE_{}_{}.json",
+            spec.queue.name().to_lowercase().replace('-', ""),
+            spec.backend.name()
+        )
+    });
+    let traced = trace_workload(spec.queue, &spec.w, spec.backend);
+    // Self-check before writing: the exporter and the validator must
+    // agree on the schema or the artifact is useless downstream.
+    let sum = obs::validate(&traced.chrome_json).unwrap_or_else(|e| {
+        eprintln!("internal error: exported trace fails validation: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&out, &traced.chrome_json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    if let Some(path) = tsv_out {
+        std::fs::write(&path, &traced.tsv).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+    let m = &traced.measurement;
+    eprintln!(
+        "wrote {out}: {} events ({} spans, {} instants) on {} tracks; \
+         {} ops, p50 {:.0} ns, p99 {:.0} ns, max {:.0} ns",
+        sum.events,
+        sum.spans,
+        sum.instants,
+        sum.tracks.len(),
+        spec.w.ops_per_thread * (spec.w.producers + spec.w.consumers) as u64,
+        m.p50_ns,
+        m.p99_ns,
+        m.max_ns
+    );
+}
+
+fn trace_validate_main(args: &[String]) {
+    let [path] = args else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    match obs::validate(&text) {
+        Ok(sum) => {
+            println!(
+                "{path}: valid — {} events ({} spans, {} instants, {} meta) on {} tracks",
+                sum.events,
+                sum.spans,
+                sum.instants,
+                sum.meta,
+                sum.tracks.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Asserts the latency-distribution fields `simctl bench` emits are
+/// present on every point and ordered (`p50_ns <= p99_ns <= max_ns`).
+fn bench_check_main(args: &[String]) {
+    let [path] = args else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: not JSON — {e}");
+        std::process::exit(1);
+    });
+    let points = doc
+        .get("points")
+        .and_then(obs::json::Value::as_arr)
+        .unwrap_or_else(|| {
+            eprintln!("{path}: missing \"points\" array");
+            std::process::exit(1);
+        });
+    if points.is_empty() {
+        eprintln!("{path}: empty \"points\" array");
+        std::process::exit(1);
+    }
+    for (i, p) in points.iter().enumerate() {
+        let name = p
+            .get("name")
+            .and_then(obs::json::Value::as_str)
+            .unwrap_or("?");
+        let field = |key: &str| {
+            p.get(key)
+                .and_then(obs::json::Value::as_num)
+                .unwrap_or_else(|| {
+                    eprintln!("{path}: point {i} ({name}): missing numeric \"{key}\"");
+                    std::process::exit(1);
+                })
+        };
+        let (p50, p99, max) = (field("p50_ns"), field("p99_ns"), field("max_ns"));
+        if !(p50 <= p99 && p99 <= max) {
+            eprintln!(
+                "{path}: point {i} ({name}): percentiles out of order: \
+                 p50={p50} p99={p99} max={max}"
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "{path}: ok — {} point(s), p50_ns <= p99_ns <= max_ns on all",
+        points.len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("bench") {
-        bench_main(&args[1..]);
-        return;
+    match args.first().map(String::as_str) {
+        Some("bench") => return bench_main(&args[1..]),
+        Some("bench-check") => return bench_check_main(&args[1..]),
+        Some("fuzz") => return fuzz_main(&args[1..]),
+        Some("trace") => return trace_main(&args[1..]),
+        Some("trace-validate") => return trace_validate_main(&args[1..]),
+        _ => {}
     }
-    if args.first().map(String::as_str) == Some("fuzz") {
-        fuzz_main(&args[1..]);
-        return;
-    }
-    if args.len() < 3 {
-        usage();
-    }
-    let Some(queue) = QueueKind::parse(&args[0]) else {
-        eprintln!("unknown queue `{}`", args[0]);
-        usage();
-    };
-    let kind = match args[1].as_str() {
-        "producer" | "producer-only" | "enq" => WorkloadKind::ProducerOnly,
-        "consumer" | "consumer-only" | "deq" => WorkloadKind::ConsumerOnly,
-        "mixed" => WorkloadKind::Mixed,
-        other => {
-            eprintln!("unknown workload `{other}`");
-            usage();
-        }
-    };
-    let threads: usize = args[2].parse().unwrap_or_else(|_| usage());
-
-    let mut ops = 200u64;
-    let mut backend = BackendKind::Sim;
-    let mut w = paper_workload(kind, threads, ops);
-    for kv in &args[3..] {
-        let Some((k, v)) = kv.split_once('=') else {
-            eprintln!("expected key=value, got `{kv}`");
-            usage();
-        };
-        if k == "backend" {
-            backend = BackendKind::parse(v).unwrap_or_else(|| {
-                eprintln!("unknown backend `{v}`");
-                usage();
-            });
-            continue;
-        }
-        let n: u64 = v.parse().unwrap_or_else(|_| usage());
-        match k {
-            "ops" => ops = n,
-            "hop" => w.machine.hop_intra = n,
-            "hop-cross" => w.machine.hop_cross = n,
-            "delay" => {
-                w.qp.txcas.intra_delay = n;
-                w.qp.delay_cycles = n;
-            }
-            "basket" => {
-                w.qp.basket_capacity = n as usize;
-                w.qp = QueueParams {
-                    enqueuers: w.qp.enqueuers.min(n as usize),
-                    ..w.qp
-                };
-            }
-            "fix" => w.machine.microarch_fix = n != 0,
-            "seed" => w.machine.seed = n,
-            other => {
-                eprintln!("unknown key `{other}`");
-                usage();
-            }
-        }
-    }
-    // Re-derive ops-dependent fields with the final value.
-    let mut w2 = paper_workload(kind, threads, ops);
-    w2.machine = w.machine.clone();
-    w2.qp = w.qp;
-    let m = match backend {
-        BackendKind::Sim => run_workload(queue, &w2),
-        BackendKind::Native => run_workload_native(queue, &w2),
+    let spec = parse_run_spec(&args, |_, _| false);
+    let m = match spec.backend {
+        BackendKind::Sim => run_workload(spec.queue, &spec.w),
+        BackendKind::Native => run_workload_native(spec.queue, &spec.w),
     };
 
-    println!("queue\tworkload\tthreads\tlatency_ns\tthroughput_mops\tduration_ns_per_op\ttx_commits\ttx_aborts\ttripped");
+    println!("queue\tworkload\tthreads\tlatency_ns\tthroughput_mops\tduration_ns_per_op\ttx_commits\ttx_aborts\ttripped\tp50_ns\tp99_ns\tmax_ns");
     println!(
-        "{}\t{:?}\t{}\t{:.1}\t{:.3}\t{:.1}\t{}\t{}\t{}",
+        "{}\t{:?}\t{}\t{:.1}\t{:.3}\t{:.1}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}",
         m.queue,
-        kind,
+        spec.kind,
         m.threads,
         m.latency_ns,
         m.throughput_mops,
         m.duration_ns_per_op,
         m.tx_commits,
         m.tx_aborts,
-        m.tripped_writers
+        m.tripped_writers,
+        m.p50_ns,
+        m.p99_ns,
+        m.max_ns
     );
 }

@@ -40,11 +40,7 @@ fn params() -> QueueParams {
 }
 
 fn spec() -> DriveSpec {
-    DriveSpec {
-        params: params(),
-        ops: mixed_ops(THREADS, 15, 2),
-        drain: true,
-    }
+    DriveSpec::new(params(), mixed_ops(THREADS, 15, 2), true)
 }
 
 /// Protocol invariants on: queue traffic doubles as a MESI/HTM

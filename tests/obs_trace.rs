@@ -1,0 +1,144 @@
+//! Observability determinism contract (DESIGN.md §10):
+//!
+//! 1. attaching an `ObsSink` — or switching on the machine's message
+//!    trace — must not perturb the simulation at all: the recorded
+//!    history and its timings are bit-identical with observability on or
+//!    off, so the determinism goldens remain valid with obs disabled;
+//! 2. on the simulator, the exported Chrome trace of a fixed
+//!    configuration is **byte-identical** across runs;
+//! 3. traces from both backends validate against the trace schema.
+
+use bench::workload::{paper_workload, trace_workload, WorkloadKind};
+use harness::{
+    history_digest, mixed_ops, record_history, BackendKind, DriveSpec, QueueKind, QueueParams,
+    SimBackend,
+};
+use obs::ObsSink;
+use std::sync::Arc;
+
+const THREADS: usize = 3;
+
+fn spec() -> DriveSpec {
+    DriveSpec::new(QueueParams::default(), mixed_ops(THREADS, 12, 2), true)
+}
+
+fn sim_machine(trace: bool) -> coherence::MachineConfig {
+    let mut cfg = coherence::MachineConfig::single_socket(THREADS);
+    cfg.trace = trace;
+    cfg
+}
+
+/// Obs on, obs off, and machine trace on: three runs of the same spec
+/// must produce the same history digest and the same end time. This is
+/// the "goldens unchanged with observability disabled" guarantee — the
+/// goldens in `crates/coherence/tests/determinism.rs` are captured with
+/// obs off, and this pins that enabling it could not have moved them.
+#[test]
+fn obs_and_machine_trace_do_not_perturb_the_simulation() {
+    for kind in [QueueKind::SbqHtm, QueueKind::MsQueue] {
+        let plain = {
+            let mut b = SimBackend::new(sim_machine(false));
+            record_history(&mut b, kind, spec())
+        };
+        let with_obs = {
+            let mut b = SimBackend::new(sim_machine(false));
+            let mut s = spec();
+            s.obs = Some(Arc::new(ObsSink::default()));
+            record_history(&mut b, kind, s)
+        };
+        let with_machine_trace = {
+            let mut b = SimBackend::new(sim_machine(true));
+            let mut s = spec();
+            s.obs = Some(Arc::new(ObsSink::default()));
+            record_history(&mut b, kind, s)
+        };
+        let digest = history_digest(&plain.history);
+        assert_eq!(
+            digest,
+            history_digest(&with_obs.history),
+            "{kind:?}: attaching an ObsSink changed the recorded history"
+        );
+        assert_eq!(
+            digest,
+            history_digest(&with_machine_trace.history),
+            "{kind:?}: machine trace=true changed the recorded history"
+        );
+        assert_eq!(plain.report.end_time, with_obs.report.end_time);
+        assert_eq!(plain.report.end_time, with_machine_trace.report.end_time);
+    }
+}
+
+/// The sink actually captured the run: one span per recorded operation,
+/// with identical timestamps to the history events.
+#[test]
+fn obs_spans_mirror_the_recorded_history() {
+    let mut b = SimBackend::new(sim_machine(false));
+    let sink = Arc::new(ObsSink::default());
+    let mut s = spec();
+    s.obs = Some(Arc::clone(&sink));
+    let out = record_history(&mut b, QueueKind::SbqHtm, s);
+    let logs = sink.take_logs();
+    assert_eq!(logs.len(), THREADS);
+    let spans: usize = logs
+        .iter()
+        .flat_map(|l| &l.events)
+        .filter(|e| matches!(e, obs::ObsEvent::Span { .. }))
+        .count();
+    assert_eq!(
+        spans,
+        out.history.len(),
+        "every history event should have exactly one span"
+    );
+    // Span intervals are drawn from the same clock reads the history
+    // recorder used, so the multisets of (start, end) pairs coincide.
+    let mut span_ivals: Vec<(u64, u64)> = logs
+        .iter()
+        .flat_map(|l| &l.events)
+        .filter_map(|e| match *e {
+            obs::ObsEvent::Span { start, end, .. } => Some((start, end)),
+            _ => None,
+        })
+        .collect();
+    let mut hist_ivals: Vec<(u64, u64)> = out.history.iter().map(|e| (e.invoke, e.ret)).collect();
+    span_ivals.sort_unstable();
+    hist_ivals.sort_unstable();
+    assert_eq!(span_ivals, hist_ivals);
+}
+
+#[test]
+fn same_config_sim_trace_is_byte_identical() {
+    let w = paper_workload(WorkloadKind::ProducerOnly, 4, 25);
+    let a = trace_workload(QueueKind::SbqHtm, &w, BackendKind::Sim);
+    let b = trace_workload(QueueKind::SbqHtm, &w, BackendKind::Sim);
+    assert_eq!(
+        a.chrome_json, b.chrome_json,
+        "same-seed sim traces must be byte-identical"
+    );
+    assert_eq!(a.tsv, b.tsv);
+
+    let sum = obs::validate(&a.chrome_json).expect("sim trace validates");
+    assert!(sum.spans >= 100, "4 threads x 25 ops: {sum:?}");
+    // The coherence bridge is present: a Dir track (track 0) plus one
+    // track per core, and HTM lifecycle marks from SBQ-HTM's TxCAS.
+    assert!(sum.tracks.contains(&0), "Dir track missing: {sum:?}");
+    assert!((1..=4).all(|t| sum.tracks.contains(&t)), "{sum:?}");
+    assert!(sum.names.contains("enqueue"), "{:?}", sum.names);
+    assert!(
+        sum.names.iter().any(|n| n.starts_with("tx-")),
+        "no HTM lifecycle marks bridged: {:?}",
+        sum.names
+    );
+}
+
+#[test]
+fn native_trace_validates_against_the_schema() {
+    let w = paper_workload(WorkloadKind::ProducerOnly, 2, 20);
+    let t = trace_workload(QueueKind::MsQueue, &w, BackendKind::Native);
+    let sum = obs::validate(&t.chrome_json).expect("native trace validates");
+    assert!(sum.spans >= 40, "2 threads x 20 ops: {sum:?}");
+    // No simulator, no Dir track: thread tracks start at 1.
+    assert!(!sum.tracks.contains(&0), "{sum:?}");
+    assert!(t.chrome_json.contains("\"backend\":\"native\""));
+    assert!(t.measurement.p50_ns <= t.measurement.p99_ns);
+    assert!(t.measurement.p99_ns <= t.measurement.max_ns);
+}
