@@ -12,10 +12,13 @@ use std::time::Instant;
 /// evaluation machine's Xeon E5-2699 v4 base clock.
 pub const GHZ: f64 = 2.2;
 
-/// Converts a cycle count at the nominal [`GHZ`] clock to nanoseconds.
+/// Converts a cycle count at the nominal [`GHZ`] clock to nanoseconds,
+/// rounded to nearest. Truncation would bias every short-delay
+/// conversion low (2 cycles at 2.2 GHz is 0.909 ns — 0 when truncated,
+/// 1 when rounded).
 #[inline]
 pub fn cycles_to_ns(cycles: u64) -> u64 {
-    (cycles as f64 / GHZ) as u64
+    (cycles as f64 / GHZ).round() as u64
 }
 
 /// Measured spin-loop iterations per microsecond, calibrated once per
@@ -217,6 +220,26 @@ pub fn run_threads<R: Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cycles_to_ns_rounds_to_nearest() {
+        // At 2.2 GHz: 1 cycle = 0.4545 ns, 2 cycles = 0.909 ns.
+        assert_eq!(cycles_to_ns(0), 0);
+        assert_eq!(cycles_to_ns(1), 0, "0.45 ns rounds down");
+        assert_eq!(cycles_to_ns(2), 1, "0.91 ns rounds up (truncation gave 0)");
+        assert_eq!(cycles_to_ns(3), 1, "1.36 ns rounds down");
+        assert_eq!(cycles_to_ns(11), 5, "exact 5 ns boundary");
+        assert_eq!(cycles_to_ns(22), 10, "exact 10 ns boundary");
+        assert_eq!(cycles_to_ns(23), 10, "10.45 ns rounds down");
+        assert_eq!(cycles_to_ns(24), 11, "10.91 ns rounds up");
+        assert_eq!(cycles_to_ns(2200), 1000);
+        // Round-to-nearest never undershoots by a full nanosecond.
+        for c in 0..10_000u64 {
+            let exact = c as f64 / GHZ;
+            let got = cycles_to_ns(c) as f64;
+            assert!((got - exact).abs() <= 0.5 + 1e-9, "cycles={c}");
+        }
+    }
 
     #[test]
     fn rmw_primitives_match_spec() {

@@ -6,7 +6,9 @@
 //!
 //! Subcommands: `fig1 fig2 fig3 fig5 fig6 fig7 speedups ablate-delay
 //! ablate-fix ablate-basket all`. Scale with `SBQ_OPS` (ops/thread) and
-//! `SBQ_THREADS` (comma-separated sweep).
+//! `SBQ_THREADS` (comma-separated sweep); `SBQ_JOBS` sets the sweep's
+//! worker-thread count (default: all host cores — the output is
+//! byte-identical either way, see `bench::fig`).
 
 use bench::fig;
 

@@ -1,5 +1,14 @@
 //! Figure drivers: each regenerates one table/figure of the paper as TSV
 //! on stdout (see DESIGN.md §4 for the experiment index).
+//!
+//! Every driver comes in two layers: a `*_text` function that takes
+//! explicit scale knobs plus a `jobs` worker count and *returns* the
+//! TSV, and a thin printing wrapper that fills the knobs from the
+//! environment (`SBQ_OPS`, `SBQ_THREADS`, `SBQ_JOBS`). Each sweep point
+//! is one independent simulation, so the text layer fans the points
+//! across a [`runner`] job pool and joins the rows in submission order —
+//! the output is byte-identical for any `jobs` value (the equivalence
+//! suite in `tests/figures_jobs.rs` pins this).
 
 use crate::workload::{paper_workload, run_workload, Measurement, WorkloadKind};
 use crate::{env_u64, thread_counts};
@@ -7,6 +16,7 @@ use absmem::ThreadCtx;
 use coherence::{cycles_to_ns, Machine, MachineConfig, Program, SimCtx, TraceEvent};
 use harness::QueueKind;
 use sbq::txcas::{txn_cas, TxCasParams, TxCasStats};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
@@ -14,8 +24,18 @@ use std::sync::{Arc, Mutex};
 /// matching the paper's x-axis).
 const SWEEP: &[usize] = &[1, 2, 4, 8, 12, 16, 22, 28, 36, 44];
 
-fn header(cols: &[&str]) {
-    println!("{}", cols.join("\t"));
+fn header_row(cols: &[&str]) -> String {
+    format!("{}\n", cols.join("\t"))
+}
+
+/// Runs one row-producing task per sweep point and joins the rows in
+/// submission order.
+fn sweep_rows<F>(jobs: usize, tasks: Vec<F>) -> String
+where
+    F: FnOnce() -> String + Send,
+{
+    let (rows, _) = runner::run_all(jobs, tasks);
+    rows.concat()
 }
 
 // ---------------------------------------------------------------------
@@ -76,24 +96,43 @@ fn fig1_point(threads: usize, ops: u64, use_txcas: bool, params: TxCasParams) ->
     (ns, stats)
 }
 
+/// Figure 1 as TSV: TxCAS vs standard FAA latency as contention grows.
+/// One job per thread count.
+pub fn fig1_text(ops: u64, threads: &[usize], jobs: usize) -> String {
+    let mut s = String::from("# Figure 1: operation latency [ns/op] vs concurrent threads\n");
+    s.push_str(&header_row(&["threads", "FAA", "TxCAS"]));
+    let tasks: Vec<_> = threads
+        .iter()
+        .map(|&t| {
+            move || {
+                let (faa, _) = fig1_point(t, ops, false, TxCasParams::default());
+                let (tx, _) = fig1_point(t, ops, true, TxCasParams::default());
+                format!("{t}\t{faa:.1}\t{tx:.1}\n")
+            }
+        })
+        .collect();
+    s.push_str(&sweep_rows(jobs, tasks));
+    s
+}
+
 /// Figure 1: TxCAS vs standard FAA latency as contention grows.
 pub fn fig1() {
-    let ops = env_u64("SBQ_OPS", 300);
-    println!("# Figure 1: operation latency [ns/op] vs concurrent threads");
-    header(&["threads", "FAA", "TxCAS"]);
-    for &t in &thread_counts(SWEEP) {
-        let (faa, _) = fig1_point(t, ops, false, TxCasParams::default());
-        let (tx, _) = fig1_point(t, ops, true, TxCasParams::default());
-        println!("{t}\t{faa:.1}\t{tx:.1}");
-    }
+    print!(
+        "{}",
+        fig1_text(
+            env_u64("SBQ_OPS", 300),
+            &thread_counts(SWEEP),
+            runner::default_jobs()
+        )
+    );
 }
 
 // ---------------------------------------------------------------------
 // Figures 2 & 3: coherence message dynamics (trace reproductions)
 // ---------------------------------------------------------------------
 
-fn print_trace(trace: &[TraceEvent], from: u64, limit: usize) {
-    header(&["t_sent", "t_recv", "src", "dst", "msg", "line/detail"]);
+fn trace_rows(trace: &[TraceEvent], from: u64, limit: usize) -> String {
+    let mut s = header_row(&["t_sent", "t_recv", "src", "dst", "msg", "line/detail"]);
     let mut n = 0;
     for e in trace {
         match e {
@@ -105,7 +144,7 @@ fn print_trace(trace: &[TraceEvent], from: u64, limit: usize) {
                 kind,
                 line,
             } if *sent >= from => {
-                println!("{sent}\t{recv}\t{src}\t{dst}\t{kind}\t{line:#x}");
+                let _ = writeln!(s, "{sent}\t{recv}\t{src}\t{dst}\t{kind}\t{line:#x}");
                 n += 1;
             }
             TraceEvent::Tx {
@@ -114,175 +153,247 @@ fn print_trace(trace: &[TraceEvent], from: u64, limit: usize) {
                 what,
                 detail,
             } if *time >= from => {
-                println!("{time}\t-\tC{core}\t-\t[{what}]\t{detail:#x}");
+                let _ = writeln!(s, "{time}\t-\tC{core}\t-\t[{what}]\t{detail:#x}");
                 n += 1;
             }
             _ => {}
         }
         if n >= limit {
-            println!("... (truncated)");
+            s.push_str("... (truncated)\n");
             break;
         }
     }
+    s
+}
+
+/// Figure 2 as TSV: message dynamics of contended standard CAS (2a) vs
+/// HTM-based CAS (2b), three cores. One job per variant.
+pub fn fig2_text(jobs: usize) -> String {
+    let tasks: Vec<_> = [false, true]
+        .into_iter()
+        .map(|htm| {
+            move || {
+                let mut cfg = MachineConfig::single_socket(3);
+                cfg.trace = true;
+                let shared = Arc::new(AtomicU64::new(0));
+                let programs: Vec<Program> = (0..3)
+                    .map(|i| {
+                        let shared = Arc::clone(&shared);
+                        Box::new(move |ctx: &mut SimCtx| {
+                            let a = shared.load(SeqCst);
+                            // All cores read first (line Shared everywhere)...
+                            let old = ctx.read(a);
+                            ctx.barrier();
+                            // ...then CAS simultaneously.
+                            if htm {
+                                let mut st = TxCasStats::default();
+                                let p = TxCasParams {
+                                    intra_delay: 40,
+                                    ..Default::default()
+                                };
+                                txn_cas(ctx, &p, a, old, i as u64 + 1, &mut st);
+                            } else {
+                                ctx.cas(a, old, i as u64 + 1);
+                            }
+                        }) as Program
+                    })
+                    .collect();
+                let s2 = Arc::clone(&shared);
+                let report = Machine::new(cfg).run(
+                    Box::new(move |ctx| {
+                        let a = ctx.alloc(1);
+                        ctx.write(a, 0);
+                        s2.store(a, SeqCst);
+                    }),
+                    programs,
+                );
+                let mut s = String::new();
+                let _ = writeln!(
+                    s,
+                    "# Figure 2{}: {} — contended CAS x3 cores",
+                    if htm { 'b' } else { 'a' },
+                    if htm {
+                        "HTM-based CAS: failures are not serialized"
+                    } else {
+                        "standard CAS: all operations serialized"
+                    }
+                );
+                // Skip the setup/warm-up traffic: find the barrier moment
+                // by the last initial read.
+                s.push_str(&trace_rows(&report.trace, 0, 60));
+                let _ = writeln!(
+                    s,
+                    "# commits={} conflict_aborts={}",
+                    report.stats.tx_commits, report.stats.tx_aborts_conflict
+                );
+                s.push_str("# swim lanes:\n");
+                s.push_str(&crate::trace_render::render_lanes(
+                    &report.trace,
+                    &["Dir", "C0", "C1", "C2"],
+                    40,
+                ));
+                s.push('\n');
+                s
+            }
+        })
+        .collect();
+    sweep_rows(jobs, tasks)
 }
 
 /// Figure 2: message dynamics of contended standard CAS (2a) vs HTM-based
 /// CAS (2b), three cores.
 pub fn fig2() {
-    for htm in [false, true] {
-        let mut cfg = MachineConfig::single_socket(3);
-        cfg.trace = true;
-        let shared = Arc::new(AtomicU64::new(0));
-        let programs: Vec<Program> = (0..3)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                Box::new(move |ctx: &mut SimCtx| {
-                    let a = shared.load(SeqCst);
-                    // All cores read first (line Shared everywhere)...
-                    let old = ctx.read(a);
-                    ctx.barrier();
-                    // ...then CAS simultaneously.
-                    if htm {
-                        let mut st = TxCasStats::default();
-                        let p = TxCasParams {
-                            intra_delay: 40,
-                            ..Default::default()
-                        };
-                        txn_cas(ctx, &p, a, old, i as u64 + 1, &mut st);
-                    } else {
-                        ctx.cas(a, old, i as u64 + 1);
-                    }
-                }) as Program
-            })
-            .collect();
-        let s2 = Arc::clone(&shared);
-        let report = Machine::new(cfg).run(
-            Box::new(move |ctx| {
-                let a = ctx.alloc(1);
-                ctx.write(a, 0);
-                s2.store(a, SeqCst);
-            }),
-            programs,
-        );
-        println!(
-            "# Figure 2{}: {} — contended CAS x3 cores",
-            if htm { 'b' } else { 'a' },
-            if htm {
-                "HTM-based CAS: failures are not serialized"
-            } else {
-                "standard CAS: all operations serialized"
+    print!("{}", fig2_text(runner::default_jobs()));
+}
+
+/// Figure 3 as TSV: the tripped-writer race, with and without the §3.4.1
+/// microarchitectural fix. One job per variant.
+pub fn fig3_text(jobs: usize) -> String {
+    let tasks: Vec<_> = [false, true]
+        .into_iter()
+        .map(|fix| {
+            move || {
+                let mut cfg = MachineConfig::dual_socket(3);
+                cfg.trace = true;
+                cfg.microarch_fix = fix;
+                let shared = Arc::new(AtomicU64::new(0));
+                let programs: Vec<Program> = (0..6)
+                    .map(|i| {
+                        let shared = Arc::clone(&shared);
+                        Box::new(move |ctx: &mut SimCtx| {
+                            let a = shared.load(SeqCst);
+                            match i {
+                                0 => {
+                                    let old = ctx.read(a);
+                                    ctx.barrier();
+                                    let mut st = TxCasStats::default();
+                                    let p = TxCasParams {
+                                        intra_delay: 1,
+                                        ..Default::default()
+                                    };
+                                    txn_cas(ctx, &p, a, old, 7, &mut st);
+                                }
+                                3 => {
+                                    // Far-socket sharer: slow InvAck widens
+                                    // the writer's vulnerable window.
+                                    let _ = ctx.read(a);
+                                    ctx.barrier();
+                                    ctx.delay(4000);
+                                }
+                                1 | 2 => {
+                                    ctx.barrier();
+                                    ctx.delay(80 + 90 * i as u64);
+                                    let _ = ctx.read(a); // the tripping read
+                                }
+                                _ => {
+                                    ctx.barrier();
+                                }
+                            }
+                        }) as Program
+                    })
+                    .collect();
+                let s2 = Arc::clone(&shared);
+                let report = Machine::new(cfg).run(
+                    Box::new(move |ctx| {
+                        let a = ctx.alloc(1);
+                        ctx.write(a, 0);
+                        s2.store(a, SeqCst);
+                    }),
+                    programs,
+                );
+                let mut s = String::new();
+                let _ = writeln!(
+                    s,
+                    "# Figure 3: tripped writer ({}). tripped={} fix_stalls={} commits={}",
+                    if fix { "with §3.4.1 fix" } else { "no fix" },
+                    report.stats.tripped_writers,
+                    report.stats.fix_stalls,
+                    report.stats.tx_commits
+                );
+                s.push_str(&trace_rows(&report.trace, 0, 50));
+                s.push('\n');
+                s
             }
-        );
-        // Skip the setup/warm-up traffic: find the barrier moment by the
-        // last initial read.
-        print_trace(&report.trace, 0, 60);
-        println!(
-            "# commits={} conflict_aborts={}",
-            report.stats.tx_commits, report.stats.tx_aborts_conflict
-        );
-        println!("# swim lanes:");
-        print!(
-            "{}",
-            crate::trace_render::render_lanes(&report.trace, &["Dir", "C0", "C1", "C2"], 40)
-        );
-        println!();
-    }
+        })
+        .collect();
+    sweep_rows(jobs, tasks)
 }
 
 /// Figure 3: the tripped-writer race, with and without the §3.4.1
 /// microarchitectural fix.
 pub fn fig3() {
-    for fix in [false, true] {
-        let mut cfg = MachineConfig::dual_socket(3);
-        cfg.trace = true;
-        cfg.microarch_fix = fix;
-        let shared = Arc::new(AtomicU64::new(0));
-        let programs: Vec<Program> = (0..6)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                Box::new(move |ctx: &mut SimCtx| {
-                    let a = shared.load(SeqCst);
-                    match i {
-                        0 => {
-                            let old = ctx.read(a);
-                            ctx.barrier();
-                            let mut st = TxCasStats::default();
-                            let p = TxCasParams {
-                                intra_delay: 1,
-                                ..Default::default()
-                            };
-                            txn_cas(ctx, &p, a, old, 7, &mut st);
-                        }
-                        3 => {
-                            // Far-socket sharer: slow InvAck widens the
-                            // writer's vulnerable window.
-                            let _ = ctx.read(a);
-                            ctx.barrier();
-                            ctx.delay(4000);
-                        }
-                        1 | 2 => {
-                            ctx.barrier();
-                            ctx.delay(80 + 90 * i as u64);
-                            let _ = ctx.read(a); // the tripping read
-                        }
-                        _ => {
-                            ctx.barrier();
-                        }
-                    }
-                }) as Program
-            })
-            .collect();
-        let s2 = Arc::clone(&shared);
-        let report = Machine::new(cfg).run(
-            Box::new(move |ctx| {
-                let a = ctx.alloc(1);
-                ctx.write(a, 0);
-                s2.store(a, SeqCst);
-            }),
-            programs,
-        );
-        println!(
-            "# Figure 3: tripped writer ({}). tripped={} fix_stalls={} commits={}",
-            if fix { "with §3.4.1 fix" } else { "no fix" },
-            report.stats.tripped_writers,
-            report.stats.fix_stalls,
-            report.stats.tx_commits
-        );
-        print_trace(&report.trace, 0, 50);
-        println!();
-    }
+    print!("{}", fig3_text(runner::default_jobs()));
 }
 
 // ---------------------------------------------------------------------
 // Figures 5–7: the queue benchmarks
 // ---------------------------------------------------------------------
 
-fn queue_figure(kind: WorkloadKind, title: &str, metric: fn(&Measurement) -> Vec<f64>) {
-    let ops = env_u64("SBQ_OPS", 200);
-    println!("{title}");
+fn queue_figure_text(
+    kind: WorkloadKind,
+    title: &str,
+    metric: fn(&Measurement) -> Vec<f64>,
+    ops: u64,
+    threads: &[usize],
+    jobs: usize,
+) -> String {
+    let mut s = format!("{title}\n");
     let queues = QueueKind::PAPER_SET;
     let mut cols = vec!["threads".to_string()];
     cols.extend(queues.iter().map(|q| q.name().to_string()));
-    println!("{}", cols.join("\t"));
-    for &t in &thread_counts(SWEEP) {
-        let t = if kind == WorkloadKind::Mixed {
-            t * 2
-        } else {
-            t
-        };
-        let mut row = vec![format!("{t}")];
-        for q in queues {
-            let m = run_workload(q, &paper_workload(kind, t, ops));
-            row.push(
-                metric(&m)
-                    .iter()
-                    .map(|v| format!("{v:.1}"))
-                    .collect::<Vec<_>>()
-                    .join("/"),
-            );
-        }
-        println!("{}", row.join("\t"));
-    }
+    let _ = writeln!(s, "{}", cols.join("\t"));
+    let tasks: Vec<_> = threads
+        .iter()
+        .map(|&t| {
+            move || {
+                let t = if kind == WorkloadKind::Mixed {
+                    t * 2
+                } else {
+                    t
+                };
+                let mut row = vec![format!("{t}")];
+                for q in queues {
+                    let m = run_workload(q, &paper_workload(kind, t, ops));
+                    row.push(
+                        metric(&m)
+                            .iter()
+                            .map(|v| format!("{v:.1}"))
+                            .collect::<Vec<_>>()
+                            .join("/"),
+                    );
+                }
+                format!("{}\n", row.join("\t"))
+            }
+        })
+        .collect();
+    s.push_str(&sweep_rows(jobs, tasks));
+    s
+}
+
+fn queue_figure(kind: WorkloadKind, title: &str, metric: fn(&Measurement) -> Vec<f64>) {
+    print!(
+        "{}",
+        queue_figure_text(
+            kind,
+            title,
+            metric,
+            env_u64("SBQ_OPS", 200),
+            &thread_counts(SWEEP),
+            runner::default_jobs()
+        )
+    );
+}
+
+/// Figure 5 as TSV (explicit scale; one job per thread count).
+pub fn fig5_text(ops: u64, threads: &[usize], jobs: usize) -> String {
+    queue_figure_text(
+        WorkloadKind::ProducerOnly,
+        "# Figure 5: enqueue-only — latency[ns/op]/throughput[Mop/s] per queue",
+        |m| vec![m.latency_ns, m.throughput_mops],
+        ops,
+        threads,
+        jobs,
+    )
 }
 
 /// Figure 5: producer-only latency [ns/op] and throughput [Mop/s].
@@ -312,153 +423,253 @@ pub fn fig7() {
     );
 }
 
+/// The headline comparison as TSV: one job per workload row.
+pub fn speedups_text(ops: u64, t: usize, jobs: usize) -> String {
+    let mut s = String::from("# Headline speedups (SBQ-HTM over WF-Queue)\n");
+    s.push_str(&header_row(&[
+        "workload", "threads", "sbq_thr", "wf_thr", "speedup",
+    ]));
+    let tasks: Vec<_> = [
+        ("producer-only", WorkloadKind::ProducerOnly, t),
+        ("mixed", WorkloadKind::Mixed, t * 2),
+    ]
+    .into_iter()
+    .map(|(name, kind, threads)| {
+        move || {
+            let sbq = run_workload(QueueKind::SbqHtm, &paper_workload(kind, threads, ops));
+            let wf = run_workload(QueueKind::WfQueue, &paper_workload(kind, threads, ops));
+            // For the mixed workload the paper compares durations, so use
+            // 1/duration as "throughput".
+            let (sv, wv) = match kind {
+                WorkloadKind::Mixed => (1.0 / sbq.duration_ns_per_op, 1.0 / wf.duration_ns_per_op),
+                _ => (sbq.throughput_mops, wf.throughput_mops),
+            };
+            format!("{name}\t{threads}\t{sv:.3}\t{wv:.3}\t{:.2}x\n", sv / wv)
+        }
+    })
+    .collect();
+    s.push_str(&sweep_rows(jobs, tasks));
+    s
+}
+
 /// The headline comparison (§1, §6.2): SBQ-HTM vs WF-Queue throughput
 /// ratio on producer-only and mixed workloads at full concurrency.
 pub fn speedups() {
-    let ops = env_u64("SBQ_OPS", 200);
     let t = *thread_counts(SWEEP).last().unwrap_or(&44);
-    println!("# Headline speedups (SBQ-HTM over WF-Queue)");
-    header(&["workload", "threads", "sbq_thr", "wf_thr", "speedup"]);
-    for (name, kind, threads) in [
-        ("producer-only", WorkloadKind::ProducerOnly, t),
-        ("mixed", WorkloadKind::Mixed, t * 2),
-    ] {
-        let sbq = run_workload(QueueKind::SbqHtm, &paper_workload(kind, threads, ops));
-        let wf = run_workload(QueueKind::WfQueue, &paper_workload(kind, threads, ops));
-        // For the mixed workload the paper compares durations, so use
-        // 1/duration as "throughput".
-        let (s, w) = match kind {
-            WorkloadKind::Mixed => (1.0 / sbq.duration_ns_per_op, 1.0 / wf.duration_ns_per_op),
-            _ => (sbq.throughput_mops, wf.throughput_mops),
-        };
-        println!("{name}\t{threads}\t{s:.3}\t{w:.3}\t{:.2}x", s / w);
-    }
+    print!(
+        "{}",
+        speedups_text(env_u64("SBQ_OPS", 200), t, runner::default_jobs())
+    );
 }
 
 // ---------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------
 
+/// §4.1 ablation as TSV: one job per delay value.
+pub fn ablate_delay_text(ops: u64, t: usize, jobs: usize) -> String {
+    let mut s = format!(
+        "# Ablation: TxCAS intra-transaction delay at {t} threads (paper optimum ~600 cycles = 270ns)\n"
+    );
+    s.push_str(&header_row(&[
+        "delay_cycles",
+        "txcas_latency_ns",
+        "retries_per_op",
+    ]));
+    let tasks: Vec<_> = [0u64, 75, 150, 300, 600, 1200, 2400]
+        .into_iter()
+        .map(|delay| {
+            move || {
+                let p = TxCasParams {
+                    intra_delay: delay,
+                    ..Default::default()
+                };
+                let (ns, st) = fig1_point(t, ops, true, p);
+                let total = st.success + st.fail_self_abort + st.fail_post_abort + st.fallbacks;
+                format!(
+                    "{delay}\t{ns:.1}\t{:.3}\n",
+                    st.retries as f64 / total.max(1) as f64
+                )
+            }
+        })
+        .collect();
+    s.push_str(&sweep_rows(jobs, tasks));
+    s
+}
+
 /// §4.1: sweep the intra-transaction delay at high contention.
 pub fn ablate_delay() {
-    let ops = env_u64("SBQ_OPS", 200);
     let t = *thread_counts(&[22]).last().unwrap_or(&22);
-    println!("# Ablation: TxCAS intra-transaction delay at {t} threads (paper optimum ~600 cycles = 270ns)");
-    header(&["delay_cycles", "txcas_latency_ns", "retries_per_op"]);
-    for delay in [0u64, 75, 150, 300, 600, 1200, 2400] {
-        let p = TxCasParams {
-            intra_delay: delay,
-            ..Default::default()
-        };
-        let (ns, st) = fig1_point(t, ops, true, p);
-        let total = st.success + st.fail_self_abort + st.fail_post_abort + st.fallbacks;
-        println!(
-            "{delay}\t{ns:.1}\t{:.3}",
-            st.retries as f64 / total.max(1) as f64
-        );
-    }
+    print!(
+        "{}",
+        ablate_delay_text(env_u64("SBQ_OPS", 200), t, runner::default_jobs())
+    );
+}
+
+/// §3.4.1 ablation as TSV: one job per fix variant.
+pub fn ablate_fix_text(ops: u64, jobs: usize) -> String {
+    let mut s =
+        String::from("# Ablation: cross-socket TxCAS — tripped writers and the microarch fix\n");
+    s.push_str(&header_row(&[
+        "fix",
+        "latency_ns",
+        "tripped_writers",
+        "retries_per_op",
+    ]));
+    let tasks: Vec<_> = [false, true]
+        .into_iter()
+        .map(|fix| {
+            move || {
+                let threads = 8;
+                let mut cfg = MachineConfig::dual_socket(threads / 2);
+                cfg.check_invariants = false;
+                cfg.microarch_fix = fix;
+                let shared = Arc::new(AtomicU64::new(0));
+                let lat: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+                let stats: Arc<Mutex<TxCasStats>> = Arc::new(Mutex::new(TxCasStats::default()));
+                let programs: Vec<Program> = (0..threads)
+                    .map(|_| {
+                        let shared = Arc::clone(&shared);
+                        let lat = Arc::clone(&lat);
+                        let stats = Arc::clone(&stats);
+                        Box::new(move |ctx: &mut SimCtx| {
+                            let a = shared.load(SeqCst);
+                            ctx.barrier();
+                            let mut st = TxCasStats::default();
+                            let t0 = ctx.now();
+                            for _ in 0..ops {
+                                let old = ctx.read(a);
+                                txn_cas(ctx, &TxCasParams::default(), a, old, old + 1, &mut st);
+                            }
+                            lat.lock().unwrap().push(ctx.now() - t0);
+                            let mut s = stats.lock().unwrap();
+                            s.retries += st.retries;
+                            s.success += st.success;
+                        }) as Program
+                    })
+                    .collect();
+                let s2 = Arc::clone(&shared);
+                let report = Machine::new(cfg).run(
+                    Box::new(move |ctx| {
+                        let a = ctx.alloc(1);
+                        ctx.write(a, 0);
+                        s2.store(a, SeqCst);
+                    }),
+                    programs,
+                );
+                let total: u64 = lat.lock().unwrap().iter().sum();
+                let st = stats.lock().unwrap();
+                format!(
+                    "{fix}\t{:.1}\t{}\t{:.3}\n",
+                    cycles_to_ns(total) / (ops * threads as u64) as f64,
+                    report.stats.tripped_writers,
+                    st.retries as f64 / (ops * threads as u64) as f64,
+                )
+            }
+        })
+        .collect();
+    s.push_str(&sweep_rows(jobs, tasks));
+    s
 }
 
 /// §3.4.1: tripped writers across sockets, with and without the fix.
 pub fn ablate_fix() {
-    let ops = env_u64("SBQ_OPS", 150);
-    println!("# Ablation: cross-socket TxCAS — tripped writers and the microarch fix");
-    header(&["fix", "latency_ns", "tripped_writers", "retries_per_op"]);
-    for fix in [false, true] {
-        let threads = 8;
-        let mut cfg = MachineConfig::dual_socket(threads / 2);
-        cfg.check_invariants = false;
-        cfg.microarch_fix = fix;
-        let shared = Arc::new(AtomicU64::new(0));
-        let lat: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
-        let stats: Arc<Mutex<TxCasStats>> = Arc::new(Mutex::new(TxCasStats::default()));
-        let programs: Vec<Program> = (0..threads)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let lat = Arc::clone(&lat);
-                let stats = Arc::clone(&stats);
-                Box::new(move |ctx: &mut SimCtx| {
-                    let a = shared.load(SeqCst);
-                    ctx.barrier();
-                    let mut st = TxCasStats::default();
-                    let t0 = ctx.now();
-                    for _ in 0..ops {
-                        let old = ctx.read(a);
-                        txn_cas(ctx, &TxCasParams::default(), a, old, old + 1, &mut st);
-                    }
-                    lat.lock().unwrap().push(ctx.now() - t0);
-                    let mut s = stats.lock().unwrap();
-                    s.retries += st.retries;
-                    s.success += st.success;
-                }) as Program
-            })
-            .collect();
-        let s2 = Arc::clone(&shared);
-        let report = Machine::new(cfg).run(
-            Box::new(move |ctx| {
-                let a = ctx.alloc(1);
-                ctx.write(a, 0);
-                s2.store(a, SeqCst);
-            }),
-            programs,
-        );
-        let total: u64 = lat.lock().unwrap().iter().sum();
-        let st = stats.lock().unwrap();
-        println!(
-            "{fix}\t{:.1}\t{}\t{:.3}",
-            cycles_to_ns(total) / (ops * threads as u64) as f64,
-            report.stats.tripped_writers,
-            st.retries as f64 / (ops * threads as u64) as f64,
-        );
-    }
+    print!(
+        "{}",
+        ablate_fix_text(env_u64("SBQ_OPS", 150), runner::default_jobs())
+    );
+}
+
+/// §5.3.4 ablation as TSV: one job per capacity / thread-count point.
+pub fn ablate_basket_text(ops: u64, t: usize, jobs: usize) -> String {
+    // Axis 1: oversizing the basket at fixed threads. The algorithm gives
+    // every enqueuer a private cell, so capacity < threads is structurally
+    // unsupported — the sweep starts at the thread count.
+    let mut s =
+        format!("# Ablation: basket capacity vs SBQ-HTM enqueue latency at {t} threads (B >= T)\n");
+    s.push_str(&header_row(&["capacity", "latency_ns", "throughput_mops"]));
+    let tasks: Vec<_> = [t, t * 2, 44.max(t), 88.max(t), 176.max(t)]
+        .into_iter()
+        .map(|cap| {
+            move || {
+                let mut w = paper_workload(WorkloadKind::ProducerOnly, t, ops);
+                w.qp.basket_capacity = cap;
+                w.qp.enqueuers = t;
+                let m = run_workload(QueueKind::SbqHtm, &w);
+                format!("{cap}\t{:.1}\t{:.3}\n", m.latency_ns, m.throughput_mops)
+            }
+        })
+        .collect();
+    s.push_str(&sweep_rows(jobs, tasks));
+    // Axis 2: the §5.3.4 claim — with B fixed at the machine width (44),
+    // amortized basket initialization is O(B/T), so enqueue latency falls
+    // as threads grow.
+    s.push_str("# Ablation: fixed B=44, latency vs enqueuer count (O(B/T) amortization)\n");
+    s.push_str(&header_row(&["threads", "latency_ns"]));
+    let tasks: Vec<_> = [2usize, 4, 8, 16, 32, 44]
+        .into_iter()
+        .map(|threads| {
+            move || {
+                let mut w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
+                w.qp.basket_capacity = 44;
+                w.qp.enqueuers = threads;
+                let m = run_workload(QueueKind::SbqHtm, &w);
+                format!("{threads}\t{:.1}\n", m.latency_ns)
+            }
+        })
+        .collect();
+    s.push_str(&sweep_rows(jobs, tasks));
+    s
 }
 
 /// §5.3.4: basket capacity B vs enqueue latency (O(B/T) initialization).
 pub fn ablate_basket() {
-    let ops = env_u64("SBQ_OPS", 200);
-    // Axis 1: oversizing the basket at fixed threads. The algorithm gives
-    // every enqueuer a private cell, so capacity < threads is structurally
-    // unsupported — the sweep starts at the thread count.
     let t = *thread_counts(&[16]).last().unwrap_or(&16);
-    println!("# Ablation: basket capacity vs SBQ-HTM enqueue latency at {t} threads (B >= T)");
-    header(&["capacity", "latency_ns", "throughput_mops"]);
-    for cap in [t, t * 2, 44.max(t), 88.max(t), 176.max(t)] {
-        let mut w = paper_workload(WorkloadKind::ProducerOnly, t, ops);
-        w.qp.basket_capacity = cap;
-        w.qp.enqueuers = t;
-        let m = run_workload(QueueKind::SbqHtm, &w);
-        println!("{cap}\t{:.1}\t{:.3}", m.latency_ns, m.throughput_mops);
-    }
-    // Axis 2: the §5.3.4 claim — with B fixed at the machine width (44),
-    // amortized basket initialization is O(B/T), so enqueue latency falls
-    // as threads grow.
-    println!("# Ablation: fixed B=44, latency vs enqueuer count (O(B/T) amortization)");
-    header(&["threads", "latency_ns"]);
-    for threads in [2usize, 4, 8, 16, 32, 44] {
-        let mut w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
-        w.qp.basket_capacity = 44;
-        w.qp.enqueuers = threads;
-        let m = run_workload(QueueKind::SbqHtm, &w);
-        println!("{threads}\t{:.1}", m.latency_ns);
-    }
+    print!(
+        "{}",
+        ablate_basket_text(env_u64("SBQ_OPS", 200), t, runner::default_jobs())
+    );
+}
+
+/// §8 ablation as TSV: one job per thread count.
+pub fn ablate_deq_text(ops: u64, threads: &[usize], jobs: usize) -> String {
+    use crate::workload::run_generic;
+    use harness::{SbqHtmQ, SbqStripedQ};
+    let mut s = String::from(
+        "# Ablation (§8 future work): dequeue-side basket design, consumer-only workload\n",
+    );
+    s.push_str(&header_row(&[
+        "threads",
+        "SBQ-basket[ns/op]",
+        "Striped-basket[ns/op]",
+    ]));
+    let tasks: Vec<_> = threads
+        .iter()
+        .map(|&t| {
+            move || {
+                let w = paper_workload(WorkloadKind::ConsumerOnly, t, ops);
+                let a = run_generic::<SbqHtmQ<SimCtx>>(&w);
+                let b = run_generic::<SbqStripedQ<SimCtx>>(&w);
+                format!("{t}\t{:.1}\t{:.1}\n", a.latency_ns, b.latency_ns)
+            }
+        })
+        .collect();
+    s.push_str(&sweep_rows(jobs, tasks));
+    s
 }
 
 /// §8 future work: scalable-dequeue basket. Compares the stock SBQ basket
 /// (FAA-ticketed extraction) against the experimental striped basket on
 /// the consumer-only workload, where the FAA is the bottleneck (§5.3.4).
 pub fn ablate_deq() {
-    use crate::workload::run_generic;
-    use coherence::SimCtx;
-    use harness::{SbqHtmQ, SbqStripedQ};
-    let ops = env_u64("SBQ_OPS", 150);
-    println!("# Ablation (§8 future work): dequeue-side basket design, consumer-only workload");
-    header(&["threads", "SBQ-basket[ns/op]", "Striped-basket[ns/op]"]);
-    for &t in &thread_counts(&[2, 8, 16, 32, 44]) {
-        let w = paper_workload(WorkloadKind::ConsumerOnly, t, ops);
-        let a = run_generic::<SbqHtmQ<SimCtx>>(&w);
-        let b = run_generic::<SbqStripedQ<SimCtx>>(&w);
-        println!("{t}\t{:.1}\t{:.1}", a.latency_ns, b.latency_ns);
-    }
+    print!(
+        "{}",
+        ablate_deq_text(
+            env_u64("SBQ_OPS", 150),
+            &thread_counts(&[2, 8, 16, 32, 44]),
+            runner::default_jobs()
+        )
+    );
 }
 
 /// Runs every figure in sequence (the `cargo bench` entry point).

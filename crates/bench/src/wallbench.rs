@@ -121,31 +121,33 @@ fn sample_reps<F: FnMut()>(reps: u32, mut f: F) -> Histogram {
 /// Runs both fixed shapes, `reps` times each, keeping the full rep
 /// wall-time distribution per point.
 pub fn run_points(scale: u64, reps: u32) -> Vec<WallPoint> {
-    let mut out = Vec::new();
+    run_points_jobs(scale, reps, 1).0
+}
 
-    let (threads, ops) = (8usize, 2_500 * scale);
-    let h = sample_reps(reps, || faa_hammer(threads, ops));
-    out.push(WallPoint::from_hist(
-        "fig1_faa",
-        threads,
-        threads as u64 * ops,
-        &h,
-    ));
-
-    let (threads, ops) = (8usize, 400 * scale);
-    let mut w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
-    w.machine.delay_jitter_pct = 0;
-    let h = sample_reps(reps, || {
-        run_workload(QueueKind::SbqHtm, &w);
-    });
-    out.push(WallPoint::from_hist(
-        "fig5_sbq_producer",
-        threads,
-        threads as u64 * ops,
-        &h,
-    ));
-
-    out
+/// [`run_points`] with each point as one job on a `jobs`-worker
+/// [`runner`] pool. Point order (and hence TSV/JSON structure) is the
+/// submission order regardless of worker count; with `jobs > 1` the
+/// points contend for host cores, so the wall-time *values* are noisier
+/// — best-of-`reps` absorbs most of it, and the distribution fields
+/// still satisfy the `bench-check` ordering invariant by construction.
+pub fn run_points_jobs(scale: u64, reps: u32, jobs: usize) -> (Vec<WallPoint>, runner::JobReport) {
+    let tasks: Vec<Box<dyn FnOnce() -> WallPoint + Send>> = vec![
+        Box::new(move || {
+            let (threads, ops) = (8usize, 2_500 * scale);
+            let h = sample_reps(reps, || faa_hammer(threads, ops));
+            WallPoint::from_hist("fig1_faa", threads, threads as u64 * ops, &h)
+        }),
+        Box::new(move || {
+            let (threads, ops) = (8usize, 400 * scale);
+            let mut w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
+            w.machine.delay_jitter_pct = 0;
+            let h = sample_reps(reps, || {
+                run_workload(QueueKind::SbqHtm, &w);
+            });
+            WallPoint::from_hist("fig5_sbq_producer", threads, threads as u64 * ops, &h)
+        }),
+    ];
+    runner::run_all(jobs, tasks)
 }
 
 /// Native wall-clock series: every queue kind fills a queue from
@@ -154,22 +156,37 @@ pub fn run_points(scale: u64, reps: u32) -> Vec<WallPoint> {
 /// atomics (no scheduler in the loop), so `ops_per_sec` here is real
 /// queue throughput, not simulation speed.
 pub fn native_points(scale: u64, reps: u32) -> Vec<WallPoint> {
+    native_points_jobs(scale, reps, 1).0
+}
+
+/// [`native_points`] with each queue kind as one pool job. Note the
+/// native points already use `threads` OS threads *inside* each job, so
+/// oversubscription compounds quickly — `jobs` here trades measurement
+/// quality for wall time more steeply than the simulated series.
+pub fn native_points_jobs(
+    scale: u64,
+    reps: u32,
+    jobs: usize,
+) -> (Vec<WallPoint>, runner::JobReport) {
     let (threads, ops) = (4usize, 400 * scale);
-    QueueKind::ALL
+    let tasks: Vec<_> = QueueKind::ALL
         .iter()
         .map(|&kind| {
-            let w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
-            let h = sample_reps(reps, || {
-                run_workload_native(kind, &w);
-            });
-            WallPoint::from_hist(
-                &format!("native_{}", kind.name().to_lowercase().replace('-', "")),
-                threads,
-                threads as u64 * ops,
-                &h,
-            )
+            move || {
+                let w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
+                let h = sample_reps(reps, || {
+                    run_workload_native(kind, &w);
+                });
+                WallPoint::from_hist(
+                    &format!("native_{}", kind.name().to_lowercase().replace('-', "")),
+                    threads,
+                    threads as u64 * ops,
+                    &h,
+                )
+            }
         })
-        .collect()
+        .collect();
+    runner::run_all(jobs, tasks)
 }
 
 /// TSV rendering — also the `baseline=` interchange format.

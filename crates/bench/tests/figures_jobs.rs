@@ -1,0 +1,50 @@
+//! Serial/parallel equivalence for the figure sweeps: every `*_text`
+//! driver fans its points across a [`runner`] pool and joins rows in
+//! submission order, so the rendered TSV must be byte-identical for any
+//! worker count. Small scale knobs keep this suite fast — the figures
+//! are simulated-time measurements, so shrinking `ops` changes the
+//! values but not the determinism being pinned.
+
+use bench::fig;
+
+#[test]
+fn fig1_is_byte_identical_across_worker_counts() {
+    let serial = fig::fig1_text(30, &[1, 2, 3, 4], 1);
+    let parallel = fig::fig1_text(30, &[1, 2, 3, 4], 4);
+    assert_eq!(serial, parallel);
+    // Sanity: the sweep actually produced one row per thread count.
+    assert_eq!(serial.lines().count(), 2 + 4);
+}
+
+#[test]
+fn fig5_is_byte_identical_across_worker_counts() {
+    let serial = fig::fig5_text(20, &[1, 2, 4], 1);
+    let parallel = fig::fig5_text(20, &[1, 2, 4], 4);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.lines().count(), 2 + 3);
+}
+
+#[test]
+fn trace_reproductions_are_byte_identical_across_worker_counts() {
+    // Figures 2 and 3 print raw coherence traces — the most
+    // order-sensitive output the sweep layer carries.
+    assert_eq!(fig::fig2_text(1), fig::fig2_text(2));
+    assert_eq!(fig::fig3_text(1), fig::fig3_text(2));
+}
+
+#[test]
+fn ablations_are_byte_identical_across_worker_counts() {
+    assert_eq!(
+        fig::ablate_deq_text(15, &[1, 2], 1),
+        fig::ablate_deq_text(15, &[1, 2], 4)
+    );
+    assert_eq!(fig::speedups_text(15, 3, 1), fig::speedups_text(15, 3, 2));
+}
+
+#[test]
+fn oversized_worker_count_is_harmless() {
+    // More workers than points: the pool clamps, the bytes still match.
+    let serial = fig::fig1_text(20, &[1, 2], 1);
+    let oversized = fig::fig1_text(20, &[1, 2], 64);
+    assert_eq!(serial, oversized);
+}

@@ -220,7 +220,13 @@ fn resp_of(r: &Resume) -> Resp {
 /// time, ahead of any not-yet-delivered resumptions (the order the
 /// original scheduler-thread implementation released them in).
 fn release_barrier(barrier: &mut Vec<(usize, u64)>, pending: &mut VecDeque<Resume>) {
-    let tmax = barrier.iter().map(|&(_, t)| t).max().unwrap();
+    // A release with no waiters (a zero-thread or all-empty phase) is a
+    // no-op — there is nobody to wake, and `.max()` on the empty set
+    // would panic with an unhelpful iterator error.
+    let Some(tmax) = barrier.iter().map(|&(_, t)| t).max() else {
+        debug_assert!(barrier.is_empty());
+        return;
+    };
     for (i, (c, _)) in barrier.drain(..).enumerate() {
         pending.insert(
             i,

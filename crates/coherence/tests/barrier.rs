@@ -65,6 +65,41 @@ fn writes_before_barrier_visible_after() {
     }
 }
 
+/// Regression: a zero-thread run used to be one `.max()` call away from
+/// an unhelpful iterator panic in the barrier-release path. It must
+/// return a clean report instead.
+#[test]
+fn zero_thread_run_returns_clean_report() {
+    for os_threads in [false, true] {
+        let mut cfg = MachineConfig::single_socket(2);
+        cfg.os_thread_scheduler = os_threads;
+        let report = Machine::new(cfg).run(
+            Box::new(|ctx| {
+                let a = ctx.alloc(2);
+                ctx.write(a, 7);
+            }),
+            Vec::new(),
+        );
+        assert!(report.core_end.is_empty(), "no program cores ran");
+        assert_eq!(report.stats.tx_commits, 0);
+    }
+}
+
+/// Regression companion: programs whose bodies do nothing (no ops, no
+/// barrier) must also complete cleanly on both schedulers.
+#[test]
+fn all_empty_programs_return_clean_report() {
+    for os_threads in [false, true] {
+        let mut cfg = MachineConfig::single_socket(3);
+        cfg.os_thread_scheduler = os_threads;
+        let programs: Vec<Program> = (0..3)
+            .map(|_| Box::new(|_: &mut SimCtx| {}) as Program)
+            .collect();
+        let report = Machine::new(cfg).run(Box::new(|_| {}), programs);
+        assert_eq!(report.core_end.len(), 3);
+    }
+}
+
 #[test]
 fn consecutive_barriers_work() {
     let cfg = MachineConfig::single_socket(3);

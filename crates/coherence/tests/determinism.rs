@@ -305,12 +305,24 @@ fn randomized_faulty_workload_on(seed: u64, os_threads: bool) -> RunReport {
 /// Differential fuzz across schedulers: 32 random seeds, all fault knobs
 /// active, fiber vs OS-thread fingerprints must be identical — the
 /// simfuzz harness depends on this to make its artifacts
-/// scheduler-independent.
+/// scheduler-independent. Each seed's (fiber, thread) fingerprint pair
+/// is one job on a `runner` pool; since every seed builds its own
+/// `Machine`, the seeds are independent and the pool's submission-order
+/// merge reports the *lowest* diverging seed whatever finishes first.
 #[test]
 fn schedulers_agree_on_randomized_fault_injection_workloads() {
-    for seed in 0..32u64 {
-        let fibers = fingerprint(&randomized_faulty_workload_on(seed, false));
-        let threads = fingerprint(&randomized_faulty_workload_on(seed, true));
+    let tasks: Vec<_> = (0..32u64)
+        .map(|seed| {
+            move || {
+                (
+                    fingerprint(&randomized_faulty_workload_on(seed, false)),
+                    fingerprint(&randomized_faulty_workload_on(seed, true)),
+                )
+            }
+        })
+        .collect();
+    let (pairs, _) = runner::run_all(runner::default_jobs(), tasks);
+    for (seed, (fibers, threads)) in pairs.iter().enumerate() {
         assert_eq!(
             fibers, threads,
             "fiber and OS-thread schedulers diverged at fault seed {seed}"

@@ -206,7 +206,12 @@ where
                 if let (Some(s), Some(o)) = (&sink, tobs.take()) {
                     s.submit(o);
                 }
-                recorders.lock().unwrap().push(rec);
+                // Recover from a poisoned lock: if a sibling job panicked,
+                // its panic (not a PoisonError) should be what surfaces.
+                recorders
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(rec);
             }) as Job<B::Ctx>
         })
         .collect();
@@ -220,7 +225,7 @@ where
         programs,
     );
 
-    let recorders = std::mem::take(&mut *recorders.lock().unwrap());
+    let recorders = std::mem::take(&mut *recorders.lock().unwrap_or_else(|e| e.into_inner()));
     let mut history = Recorder::merge(recorders);
     sort_history(&mut history);
     DriveOutcome { history, report }

@@ -54,6 +54,9 @@ pub enum InstantKind {
     Barrier,
     /// The scheduler yielded/perturbed this thread; payload free.
     SchedYield,
+    /// An experiment-runner worker claimed a job from the pool; payload =
+    /// the job's submission index.
+    JobClaim,
 }
 
 impl InstantKind {
@@ -66,6 +69,7 @@ impl InstantKind {
             InstantKind::TxAbort => "tx-abort",
             InstantKind::Barrier => "barrier",
             InstantKind::SchedYield => "sched-yield",
+            InstantKind::JobClaim => "job-claim",
         }
     }
 }
@@ -134,6 +138,7 @@ mod tests {
             InstantKind::TxAbort,
             InstantKind::Barrier,
             InstantKind::SchedYield,
+            InstantKind::JobClaim,
         ];
         for i in instants {
             assert!(seen.insert(i.name()));

@@ -136,21 +136,26 @@ impl ObsSink {
     }
 
     /// Accepts a finished thread recording (cold path; one lock per
-    /// thread per run).
+    /// thread per run). Collection paths recover from a poisoned lock
+    /// (another recording thread panicked): the logs gathered so far are
+    /// still wanted, and a second panic here would mask the first.
     pub fn submit(&self, t: ThreadObs) {
-        self.logs.lock().unwrap().push(ThreadLog {
-            tid: t.tid,
-            events: t.events,
-            dropped: t.dropped,
-            enq_hist: t.enq_hist,
-            deq_hist: t.deq_hist,
-        });
+        self.logs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ThreadLog {
+                tid: t.tid,
+                events: t.events,
+                dropped: t.dropped,
+                enq_hist: t.enq_hist,
+                deq_hist: t.deq_hist,
+            });
     }
 
     /// Drains the collected logs, sorted by thread id — the canonical
     /// order exporters consume, independent of submission order.
     pub fn take_logs(&self) -> Vec<ThreadLog> {
-        let mut logs = std::mem::take(&mut *self.logs.lock().unwrap());
+        let mut logs = std::mem::take(&mut *self.logs.lock().unwrap_or_else(|e| e.into_inner()));
         logs.sort_by_key(|l| l.tid);
         logs
     }
@@ -158,7 +163,7 @@ impl ObsSink {
     /// Merged enqueue-latency histogram over all submitted threads.
     pub fn merged_enq_hist(&self) -> Histogram {
         let mut h = Histogram::new();
-        for l in self.logs.lock().unwrap().iter() {
+        for l in self.logs.lock().unwrap_or_else(|e| e.into_inner()).iter() {
             h.merge(&l.enq_hist);
         }
         h
@@ -167,7 +172,7 @@ impl ObsSink {
     /// Merged dequeue-latency histogram over all submitted threads.
     pub fn merged_deq_hist(&self) -> Histogram {
         let mut h = Histogram::new();
-        for l in self.logs.lock().unwrap().iter() {
+        for l in self.logs.lock().unwrap_or_else(|e| e.into_inner()).iter() {
             h.merge(&l.deq_hist);
         }
         h

@@ -132,7 +132,10 @@ impl WordPool {
     fn refill(&self, class: usize, out: &mut Vec<u64>) {
         self.stats.refills.fetch_add(1, Ordering::Relaxed);
         {
-            let mut g = self.global[class].lock().unwrap();
+            // Free-list locks recover from poisoning: a panicking peer
+            // cannot corrupt a Vec of addresses, and cascading the panic
+            // here would mask the original failure.
+            let mut g = self.global[class].lock().unwrap_or_else(|e| e.into_inner());
             let take = REFILL_BATCH.min(g.len());
             if take > 0 {
                 let at = g.len() - take;
@@ -153,7 +156,7 @@ impl WordPool {
     fn spill(&self, class: usize, local: &mut Vec<u64>) {
         self.stats.spills.fetch_add(1, Ordering::Relaxed);
         let keep = LOCAL_CAP / 2;
-        let mut g = self.global[class].lock().unwrap();
+        let mut g = self.global[class].lock().unwrap_or_else(|e| e.into_inner());
         g.extend(local.drain(keep..));
     }
 }
@@ -213,7 +216,11 @@ impl Drop for ThreadCache {
         // leak address space.
         for (class, list) in self.local.iter_mut().enumerate() {
             if !list.is_empty() {
-                let mut g = self.pool.global[class].lock().unwrap();
+                // Drop runs during unwinding too; a poisoned lock must not
+                // turn the first panic into an abort-by-double-panic.
+                let mut g = self.pool.global[class]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
                 g.append(list);
             }
         }

@@ -23,6 +23,11 @@
 //! `fuzz-artifacts/<queue>-seed<n>.repro` file that `simctl fuzz
 //! --repro` replays bit-exactly.
 //!
+//! Campaigns fan their seeds across a [`runner`] job pool
+//! ([`CampaignConfig::jobs`]); since every plan is self-contained and
+//! deterministic, the only serial part is the in-order merge, which
+//! keeps reports and artifacts byte-identical to a serial campaign.
+//!
 //! On the native backend each seed's plan runs on real OS threads *and*
 //! on the simulator, both draining the queue after the op phase; the
 //! campaign fails a seed if either history is non-linearizable or the
@@ -66,6 +71,12 @@ pub struct CampaignConfig {
     /// Where to write reproducer artifacts for failures; `None` skips
     /// writing (failures are still shrunk and reported).
     pub artifacts_dir: Option<PathBuf>,
+    /// Worker threads for the seed pool: each seed runs (and shrinks) as
+    /// one independent job. `0` means auto ([`runner::default_jobs`]).
+    /// Results are merged in **seed order** whatever the worker count,
+    /// so reports, progress callbacks, and artifact files are
+    /// byte-identical to a `jobs = 1` run.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -76,6 +87,7 @@ impl Default for CampaignConfig {
             queue: None,
             backend: BackendKind::Sim,
             artifacts_dir: Some(PathBuf::from("fuzz-artifacts")),
+            jobs: 1,
         }
     }
 }
@@ -133,78 +145,145 @@ pub struct CampaignFailure {
 pub struct CampaignReport {
     /// Seeds run.
     pub runs: u64,
-    /// Failures; empty means the campaign was clean.
+    /// Failures, in ascending seed order (the pool merges in submission
+    /// order, so "the first failure" is always the lowest failing seed,
+    /// not the first job to finish); empty means the campaign was clean.
     pub failures: Vec<CampaignFailure>,
+    /// Job-pool measurements: per-seed wall latencies and worker spans.
+    /// `None` only on a default-constructed report.
+    pub pool: Option<runner::JobReport>,
 }
 
-/// Runs `cfg.seeds` consecutive plans on `cfg.backend`; shrinks every
-/// sim-reproducible failure and writes its reproducer artifact.
-/// `progress` is called after each seed with `(seed, queue name, failure
-/// if any)` — pass `|_, _, _| {}` when silence is wanted.
+/// Everything one seed's job computes away from the merge path. The
+/// expensive work — the run itself, shrinking, and the shrunk plan's
+/// trace re-run — happens here, inside the worker; only deterministic
+/// rendering and file writes are left for the in-order merge.
+struct SeedOutcome {
+    seed: u64,
+    queue_name: &'static str,
+    kind: Option<FailureKind>,
+    shrunk: Option<ShrinkOutcome>,
+    /// Chrome trace of the shrunk plan, pre-rendered (deterministic, so
+    /// the bytes cannot depend on which worker produced them).
+    trace_text: Option<String>,
+}
+
+fn run_seed(
+    seed: u64,
+    queue: Option<QueueKind>,
+    backend: BackendKind,
+    want_trace: bool,
+) -> SeedOutcome {
+    let plan = FuzzPlan::derive(seed, queue);
+    let kind = match backend {
+        BackendKind::Sim => run_plan(&plan)
+            .violation
+            .map(|violation| FailureKind::Violation {
+                backend: "sim",
+                violation,
+            }),
+        BackendKind::Native => {
+            let out = crosscheck_plan(&plan);
+            if let Some(violation) = out.native.violation {
+                Some(FailureKind::Violation {
+                    backend: "native",
+                    violation,
+                })
+            } else if let Some(violation) = out.sim.violation {
+                Some(FailureKind::Violation {
+                    backend: "sim",
+                    violation,
+                })
+            } else if !out.multisets_agree {
+                Some(FailureKind::MultisetMismatch {
+                    sim: harness::dequeue_multiset(&out.sim.history).len(),
+                    native: harness::dequeue_multiset(&out.native.history).len(),
+                })
+            } else {
+                None
+            }
+        }
+    };
+    let queue_name = plan.queue.name();
+    let Some(kind) = kind else {
+        return SeedOutcome {
+            seed,
+            queue_name,
+            kind: None,
+            shrunk: None,
+            trace_text: None,
+        };
+    };
+    // Shrinking replays on the simulator, which is deterministic;
+    // it reproduces (and hence shrinks) every sim failure, while a
+    // native-only failure yields `None` and is reported as-is.
+    let shrunk = shrink_plan(&plan, DEFAULT_SHRINK_BUDGET);
+    // The timeline companion: the shrunk plan re-run with
+    // observability on (which cannot change the schedule).
+    let trace_text = match (&shrunk, want_trace) {
+        (Some(s), true) => Some(trace_plan(&s.plan)),
+        _ => None,
+    };
+    SeedOutcome {
+        seed,
+        queue_name,
+        kind: Some(kind),
+        shrunk,
+        trace_text,
+    }
+}
+
+/// Runs `cfg.seeds` consecutive plans on `cfg.backend`, fanned across
+/// `cfg.jobs` worker threads; shrinks every sim-reproducible failure and
+/// writes its reproducer artifact. `progress` is called once per seed in
+/// **ascending seed order** with `(seed, queue name, failure if any)` —
+/// pass `|_, _, _| {}` when silence is wanted. Artifact writes happen on
+/// the merge path in the same order, so the artifact directory is
+/// byte-identical for any worker count.
 pub fn run_campaign(
     cfg: &CampaignConfig,
     mut progress: impl FnMut(u64, &'static str, Option<&FailureKind>),
 ) -> CampaignReport {
+    let jobs = if cfg.jobs == 0 {
+        runner::default_jobs()
+    } else {
+        cfg.jobs
+    };
+    let want_trace = cfg.artifacts_dir.is_some();
+    let tasks: Vec<_> = (cfg.start_seed..cfg.start_seed + cfg.seeds)
+        .map(|seed| {
+            let (queue, backend) = (cfg.queue, cfg.backend);
+            move || run_seed(seed, queue, backend, want_trace)
+        })
+        .collect();
     let mut report = CampaignReport::default();
-    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
-        let plan = FuzzPlan::derive(seed, cfg.queue);
-        let kind = match cfg.backend {
-            BackendKind::Sim => run_plan(&plan)
-                .violation
-                .map(|violation| FailureKind::Violation {
-                    backend: "sim",
-                    violation,
-                }),
-            BackendKind::Native => {
-                let out = crosscheck_plan(&plan);
-                if let Some(violation) = out.native.violation {
-                    Some(FailureKind::Violation {
-                        backend: "native",
-                        violation,
-                    })
-                } else if let Some(violation) = out.sim.violation {
-                    Some(FailureKind::Violation {
-                        backend: "sim",
-                        violation,
-                    })
-                } else if !out.multisets_agree {
-                    Some(FailureKind::MultisetMismatch {
-                        sim: harness::dequeue_multiset(&out.sim.history).len(),
-                        native: harness::dequeue_multiset(&out.native.history).len(),
-                    })
-                } else {
-                    None
-                }
-            }
-        };
+    let pool = runner::run_ordered(jobs, tasks, |_, out: SeedOutcome| {
         report.runs += 1;
-        progress(seed, plan.queue.name(), kind.as_ref());
-        let Some(kind) = kind else { continue };
-        // Shrinking replays on the simulator, which is deterministic;
-        // it reproduces (and hence shrinks) every sim failure, while a
-        // native-only failure yields `None` and is reported as-is.
-        let shrunk = shrink_plan(&plan, DEFAULT_SHRINK_BUDGET);
-        let (artifact, trace) = match (&shrunk, cfg.artifacts_dir.as_deref()) {
+        progress(out.seed, out.queue_name, out.kind.as_ref());
+        let Some(kind) = out.kind else { return };
+        let (artifact, trace) = match (&out.shrunk, cfg.artifacts_dir.as_deref()) {
             (Some(s), Some(dir)) => {
                 let artifact = write_artifact(dir, &s.plan, &s.violation, &s.witness).ok();
-                // The timeline companion: the shrunk plan re-run with
-                // observability on (which cannot change the schedule).
-                let trace = artifact.as_ref().and_then(|p| {
-                    let tp = p.with_extension("trace");
-                    std::fs::write(&tp, trace_plan(&s.plan)).ok().map(|()| tp)
-                });
+                let trace = match (&artifact, &out.trace_text) {
+                    (Some(p), Some(text)) => {
+                        let tp = p.with_extension("trace");
+                        std::fs::write(&tp, text).ok().map(|()| tp)
+                    }
+                    _ => None,
+                };
                 (artifact, trace)
             }
             _ => (None, None),
         };
         report.failures.push(CampaignFailure {
-            seed,
+            seed: out.seed,
             kind,
-            shrunk,
+            shrunk: out.shrunk,
             artifact,
             trace,
         });
-    }
+    });
+    report.pool = Some(pool);
     report
 }
 

@@ -24,6 +24,7 @@ fn small_campaign_is_clean_on_every_queue() {
         queue: None,
         backend: simfuzz::BackendKind::Sim,
         artifacts_dir: None,
+        jobs: 1,
     };
     let report = run_campaign(&cfg, |_, _, _| {});
     assert_eq!(report.runs, cfg.seeds);
@@ -54,6 +55,7 @@ fn small_native_campaign_is_clean() {
         queue: None,
         backend: simfuzz::BackendKind::Native,
         artifacts_dir: None,
+        jobs: 1,
     };
     let report = run_campaign(&cfg, |_, _, _| {});
     assert_eq!(report.runs, cfg.seeds);

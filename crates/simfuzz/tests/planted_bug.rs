@@ -28,6 +28,7 @@ fn campaign_finds_shrinks_and_replays_the_planted_bug() {
         queue: Some(QueueKind::MsQueue),
         backend: simfuzz::BackendKind::Sim,
         artifacts_dir: Some(dir.clone()),
+        jobs: 1,
     };
     let report = run_campaign(&cfg, |_, _, _| {});
     assert!(
@@ -114,6 +115,80 @@ fn campaign_finds_shrinks_and_replays_the_planted_bug() {
     // Same plan, same simulation: the trace is byte-stable.
     assert_eq!(text, simfuzz::trace_plan(&shrunk.plan));
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The pool's determinism-of-merge contract, exercised on a campaign
+/// that actually fails: whatever the worker count and however the host
+/// schedules them, the parallel campaign must report the same failures
+/// in the same (ascending seed) order and write byte-identical artifact
+/// and trace files. In particular "the first failure" is the *lowest*
+/// failing seed, not the first job to finish.
+#[test]
+fn parallel_campaign_reports_lowest_seed_and_identical_artifacts() {
+    let serial_dir = temp_dir("planted-serial");
+    let parallel_dir = temp_dir("planted-parallel");
+    let cfg = |dir: &std::path::Path, jobs: usize| CampaignConfig {
+        seeds: 64,
+        start_seed: 0,
+        queue: Some(QueueKind::MsQueue),
+        backend: simfuzz::BackendKind::Sim,
+        artifacts_dir: Some(dir.to_path_buf()),
+        jobs,
+    };
+    let mut serial_progress = Vec::new();
+    let serial = run_campaign(&cfg(&serial_dir, 1), |seed, _, f| {
+        serial_progress.push((seed, f.is_some()));
+    });
+    let mut parallel_progress = Vec::new();
+    let parallel = run_campaign(&cfg(&parallel_dir, 8), |seed, _, f| {
+        parallel_progress.push((seed, f.is_some()));
+    });
+
+    // Progress callbacks fire in ascending seed order on both paths.
+    assert_eq!(serial_progress, parallel_progress);
+    assert_eq!(
+        serial_progress,
+        (0..64)
+            .map(|s| (s, serial_progress[s as usize].1))
+            .collect::<Vec<_>>()
+    );
+
+    assert!(!serial.failures.is_empty());
+    assert_eq!(serial.runs, parallel.runs);
+    assert_eq!(serial.failures.len(), parallel.failures.len());
+    let lowest = serial.failures.iter().map(|f| f.seed).min().unwrap();
+    assert_eq!(
+        parallel.failures[0].seed, lowest,
+        "first reported failure must be the lowest failing seed"
+    );
+    for (a, b) in serial.failures.iter().zip(&parallel.failures) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(format!("{}", a.kind), format!("{}", b.kind));
+    }
+
+    // The artifact directories are byte-identical, file for file.
+    let list = |dir: &std::path::Path| {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .expect("artifacts dir exists")
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        names
+    };
+    let names = list(&serial_dir);
+    assert_eq!(names, list(&parallel_dir), "artifact sets differ");
+    assert!(!names.is_empty());
+    for name in &names {
+        let a = std::fs::read(serial_dir.join(name)).unwrap();
+        let b = std::fs::read(parallel_dir.join(name)).unwrap();
+        assert_eq!(a, b, "artifact {name} differs between jobs=1 and jobs=8");
+    }
+
+    let pool = parallel.pool.expect("campaign reports its pool");
+    assert_eq!(pool.tasks as u64, parallel.runs);
+    assert_eq!(pool.jobs, 8);
+    std::fs::remove_dir_all(&serial_dir).ok();
+    std::fs::remove_dir_all(&parallel_dir).ok();
 }
 
 #[test]

@@ -36,7 +36,14 @@
 //! tsv-out  also write the TSV capture here (optional)
 //! baseline prior TSV capture to compare against (optional)
 //! native   also run the native wall-clock series (0/1, default 0)
+//! jobs     worker threads for the point pool; 0 = auto    default 1
+//! runner-trace  write the pool's utilization Chrome trace here (optional)
 //! ```
+//!
+//! The points run as independent jobs on a [`runner`] pool and merge in
+//! submission order, so the TSV/JSON structure is identical for any
+//! `jobs` value; with `jobs > 1` the points contend for host cores, so
+//! `bench` defaults to the undisturbed serial measurement.
 //!
 //! `simctl trace <queue> <workload> <threads> [key=value ...]` runs the
 //! workload once with observability attached and writes a Chrome
@@ -72,8 +79,15 @@
 //!                  real threads AND on the simulator, cross-checking
 //!                  linearizability and the drained dequeue multisets
 //! --artifacts D    reproducer output directory  default fuzz-artifacts
+//! --jobs N         worker threads for the seed pool; 0 = auto
+//!                  (SBQ_JOBS or the host parallelism)   default auto
+//! --runner-trace F write the pool's utilization Chrome trace to F
 //! --repro FILE     replay one artifact instead of running a campaign
 //! ```
+//!
+//! Seeds run as independent jobs on a [`runner`] pool and merge in seed
+//! order, so the report, artifact files, and exit status are identical
+//! for any `--jobs` value — only the wall time changes.
 //!
 //! Exit status: campaigns exit 1 if any seed failed; `--repro` exits 1
 //! if the artifact no longer reproduces its recorded violation kind.
@@ -87,7 +101,7 @@ use harness::{BackendKind, QueueKind, QueueParams};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl trace <queue> <workload> <threads> [key=value ...] [out=PATH] [tsv-out=PATH]\n       simctl trace-validate <file.json>\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH] [native=0|1]\n       simctl bench-check <file.json>\n       simctl fuzz [--seeds N] [--start N] [--queue K] [--backend sim|native] [--artifacts DIR] [--repro FILE]"
+        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl trace <queue> <workload> <threads> [key=value ...] [out=PATH] [tsv-out=PATH]\n       simctl trace-validate <file.json>\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH] [native=0|1] [jobs=N] [runner-trace=PATH]\n       simctl bench-check <file.json>\n       simctl fuzz [--seeds N] [--start N] [--queue K] [--backend sim|native] [--artifacts DIR] [--jobs N] [--runner-trace FILE] [--repro FILE]"
     );
     std::process::exit(2);
 }
@@ -176,8 +190,12 @@ fn parse_run_spec(args: &[String], mut extra: impl FnMut(&str, &str) -> bool) ->
 }
 
 fn fuzz_main(args: &[String]) {
-    let mut cfg = simfuzz::CampaignConfig::default();
+    let mut cfg = simfuzz::CampaignConfig {
+        jobs: 0, // auto: SBQ_JOBS or the host's available parallelism
+        ..Default::default()
+    };
     let mut repro: Option<String> = None;
+    let mut runner_trace: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         // Accept both `--key value` and `key=value`.
@@ -208,6 +226,8 @@ fn fuzz_main(args: &[String]) {
                 })
             }
             "artifacts" => cfg.artifacts_dir = Some(v.into()),
+            "jobs" => cfg.jobs = v.parse().unwrap_or_else(|_| usage()),
+            "runner-trace" => runner_trace = Some(v),
             "repro" => repro = Some(v),
             other => {
                 eprintln!("unknown key `{other}`");
@@ -274,6 +294,14 @@ fn fuzz_main(args: &[String]) {
         cfg.backend.name(),
         report.failures.len()
     );
+    if let Some(pool) = &report.pool {
+        eprintln!("{}", pool.summary());
+        if let Some(path) = runner_trace {
+            std::fs::write(&path, pool.utilization_trace("simctl fuzz"))
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote runner utilization trace to {path}");
+        }
+    }
     if !report.failures.is_empty() {
         std::process::exit(1);
     }
@@ -287,6 +315,10 @@ fn bench_main(args: &[String]) {
     let mut tsv_out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut native = false;
+    // Serial by default: the benchmark measures wall time, and parallel
+    // points perturb each other. `jobs=0` opts into auto.
+    let mut jobs = 1usize;
+    let mut runner_trace: Option<String> = None;
     for kv in args {
         let Some((k, v)) = kv.split_once('=') else {
             eprintln!("expected key=value, got `{kv}`");
@@ -300,12 +332,19 @@ fn bench_main(args: &[String]) {
             "tsv-out" => tsv_out = Some(v.to_string()),
             "baseline" => baseline = Some(v.to_string()),
             "native" => native = v != "0",
+            "jobs" => jobs = v.parse().unwrap_or_else(|_| usage()),
+            "runner-trace" => runner_trace = Some(v.to_string()),
             other => {
                 eprintln!("unknown key `{other}`");
                 usage();
             }
         }
     }
+    let jobs = if jobs == 0 {
+        runner::default_jobs()
+    } else {
+        jobs
+    };
     // Validate the baseline before spending time on the runs.
     let base_points = baseline.map(|path| {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -317,11 +356,19 @@ fn bench_main(args: &[String]) {
             std::process::exit(2);
         })
     });
-    let mut points = bench::wallbench::run_points(scale, reps);
+    let (mut points, mut pool) = bench::wallbench::run_points_jobs(scale, reps, jobs);
     if native {
-        points.extend(bench::wallbench::native_points(scale, reps));
+        let (native_pts, native_pool) = bench::wallbench::native_points_jobs(scale, reps, jobs);
+        points.extend(native_pts);
+        pool.absorb(&native_pool);
     }
     print!("{}", bench::wallbench::to_tsv(&points));
+    eprintln!("{}", pool.summary());
+    if let Some(path) = runner_trace {
+        std::fs::write(&path, pool.utilization_trace("simctl bench"))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote runner utilization trace to {path}");
+    }
     if let Some(path) = tsv_out {
         std::fs::write(&path, bench::wallbench::to_tsv(&points))
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
