@@ -46,6 +46,14 @@ pub struct WallPoint {
     pub p50_ns: u64,
     pub p99_ns: u64,
     pub max_ns: u64,
+    /// Operations the simulator's uncontended fast path admitted
+    /// (identical across reps — the workload is deterministic).
+    pub fastpath_hits: u64,
+    /// Submissions that fell back to the full protocol path.
+    pub fastpath_fallbacks: u64,
+    /// Scheduler events dispatched — the engine-work denominator behind
+    /// `ops_per_sec`.
+    pub sim_events: u64,
 }
 
 impl WallPoint {
@@ -61,6 +69,9 @@ impl WallPoint {
             p50_ns: wall_ns,
             p99_ns: wall_ns,
             max_ns: wall_ns,
+            fastpath_hits: 0,
+            fastpath_fallbacks: 0,
+            sim_events: 0,
         }
     }
 
@@ -75,10 +86,35 @@ impl WallPoint {
     }
 }
 
+/// Simulator counters worth surfacing per bench point.
+#[derive(Debug, Clone, Copy, Default)]
+struct SimCounters {
+    fastpath_hits: u64,
+    fastpath_fallbacks: u64,
+    sim_events: u64,
+}
+
+impl SimCounters {
+    fn from_stats(stats: &coherence::Stats) -> Self {
+        SimCounters {
+            fastpath_hits: stats.fastpath_hits,
+            fastpath_fallbacks: stats.fastpath_fallbacks,
+            sim_events: stats.events,
+        }
+    }
+
+    fn apply(self, mut p: WallPoint) -> WallPoint {
+        p.fastpath_hits = self.fastpath_hits;
+        p.fastpath_fallbacks = self.fastpath_fallbacks;
+        p.sim_events = self.sim_events;
+        p
+    }
+}
+
 /// Figure-1-shaped scheduler stress: `threads` cores FAA one shared word
 /// `ops` times each. Jitter and invariant checks are off so the run is
 /// deterministic and the handshake dominates.
-fn faa_hammer(threads: usize, ops: u64) {
+fn faa_hammer(threads: usize, ops: u64) -> SimCounters {
     let mut cfg = MachineConfig::single_socket(threads);
     cfg.check_invariants = false;
     cfg.delay_jitter_pct = 0;
@@ -96,7 +132,7 @@ fn faa_hammer(threads: usize, ops: u64) {
         })
         .collect();
     let s2 = Arc::clone(&shared);
-    Machine::new(cfg).run(
+    let report = Machine::new(cfg).run(
         Box::new(move |ctx| {
             let a = ctx.alloc(1);
             ctx.write(a, 0);
@@ -104,6 +140,7 @@ fn faa_hammer(threads: usize, ops: u64) {
         }),
         programs,
     );
+    SimCounters::from_stats(&report.stats)
 }
 
 /// Times `reps` runs of `f` and returns the wall-time histogram (ns) —
@@ -134,17 +171,34 @@ pub fn run_points_jobs(scale: u64, reps: u32, jobs: usize) -> (Vec<WallPoint>, r
     let tasks: Vec<Box<dyn FnOnce() -> WallPoint + Send>> = vec![
         Box::new(move || {
             let (threads, ops) = (8usize, 2_500 * scale);
-            let h = sample_reps(reps, || faa_hammer(threads, ops));
-            WallPoint::from_hist("fig1_faa", threads, threads as u64 * ops, &h)
+            let mut ctr = SimCounters::default();
+            let h = sample_reps(reps, || ctr = faa_hammer(threads, ops));
+            ctr.apply(WallPoint::from_hist(
+                "fig1_faa",
+                threads,
+                threads as u64 * ops,
+                &h,
+            ))
         }),
         Box::new(move || {
             let (threads, ops) = (8usize, 400 * scale);
             let mut w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
             w.machine.delay_jitter_pct = 0;
+            let mut ctr = SimCounters::default();
             let h = sample_reps(reps, || {
-                run_workload(QueueKind::SbqHtm, &w);
+                let m = run_workload(QueueKind::SbqHtm, &w);
+                ctr = SimCounters {
+                    fastpath_hits: m.fastpath_hits,
+                    fastpath_fallbacks: m.fastpath_fallbacks,
+                    sim_events: m.sim_events,
+                };
             });
-            WallPoint::from_hist("fig5_sbq_producer", threads, threads as u64 * ops, &h)
+            ctr.apply(WallPoint::from_hist(
+                "fig5_sbq_producer",
+                threads,
+                threads as u64 * ops,
+                &h,
+            ))
         }),
     ];
     runner::run_all(jobs, tasks)
@@ -191,12 +245,24 @@ pub fn native_points_jobs(
 
 /// TSV rendering — also the `baseline=` interchange format.
 pub fn to_tsv(points: &[WallPoint]) -> String {
-    let mut s =
-        String::from("name\tthreads\ttotal_ops\twall_ns\tops_per_sec\tp50_ns\tp99_ns\tmax_ns\n");
+    let mut s = String::from(
+        "name\tthreads\ttotal_ops\twall_ns\tops_per_sec\tp50_ns\tp99_ns\tmax_ns\
+         \tfastpath_hits\tfastpath_fallbacks\tsim_events\n",
+    );
     for p in points {
         s.push_str(&format!(
-            "{}\t{}\t{}\t{}\t{:.0}\t{}\t{}\t{}\n",
-            p.name, p.threads, p.total_ops, p.wall_ns, p.ops_per_sec, p.p50_ns, p.p99_ns, p.max_ns
+            "{}\t{}\t{}\t{}\t{:.0}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            p.name,
+            p.threads,
+            p.total_ops,
+            p.wall_ns,
+            p.ops_per_sec,
+            p.p50_ns,
+            p.p99_ns,
+            p.max_ns,
+            p.fastpath_hits,
+            p.fastpath_fallbacks,
+            p.sim_events
         ));
     }
     s
@@ -226,6 +292,11 @@ pub fn from_tsv(s: &str) -> Option<Vec<WallPoint>> {
             p.p99_ns = f[6].parse().ok()?;
             p.max_ns = f[7].parse().ok()?;
         }
+        if f.len() >= 11 {
+            p.fastpath_hits = f[8].parse().ok()?;
+            p.fastpath_fallbacks = f[9].parse().ok()?;
+            p.sim_events = f[10].parse().ok()?;
+        }
         out.push(p);
     }
     Some(out)
@@ -238,7 +309,8 @@ fn json_points(points: &[WallPoint], indent: &str) -> String {
             format!(
                 "{indent}{{\"name\": \"{}\", \"threads\": {}, \"total_ops\": {}, \
                  \"wall_ns\": {}, \"sim_ops_per_sec\": {:.0}, \
-                 \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                 \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \
+                 \"fastpath_hits\": {}, \"fastpath_fallbacks\": {}, \"sim_events\": {}}}",
                 p.name,
                 p.threads,
                 p.total_ops,
@@ -246,7 +318,10 @@ fn json_points(points: &[WallPoint], indent: &str) -> String {
                 p.ops_per_sec,
                 p.p50_ns,
                 p.p99_ns,
-                p.max_ns
+                p.max_ns,
+                p.fastpath_hits,
+                p.fastpath_fallbacks,
+                p.sim_events
             )
         })
         .collect();

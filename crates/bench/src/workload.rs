@@ -72,6 +72,13 @@ pub struct Measurement {
     pub p50_ns: f64,
     pub p99_ns: f64,
     pub max_ns: f64,
+    /// Uncontended-fast-path admissions and fallbacks
+    /// (`MachineConfig::fast_path`; zero on native).
+    pub fastpath_hits: u64,
+    pub fastpath_fallbacks: u64,
+    /// Scheduler events the run processed (simulator only) — the
+    /// wall-clock cost driver behind `duration_ns_per_op`.
+    pub sim_events: u64,
 }
 
 struct ThreadOut {
@@ -238,6 +245,12 @@ where
         p50_ns: coherence::cycles_to_ns(hist.p50()),
         p99_ns: coherence::cycles_to_ns(hist.p99()),
         max_ns: coherence::cycles_to_ns(hist.max()),
+        fastpath_hits: report.sim.as_ref().map_or(0, |r| r.stats.fastpath_hits),
+        fastpath_fallbacks: report
+            .sim
+            .as_ref()
+            .map_or(0, |r| r.stats.fastpath_fallbacks),
+        sim_events: report.sim.as_ref().map_or(0, |r| r.stats.events),
     };
     (m, report)
 }
@@ -344,7 +357,13 @@ pub fn trace_workload(kind: QueueKind, w: &Workload, backend: BackendKind) -> Tr
             })
         }
     };
-    let sim_trace = report.sim.map(|r| r.trace).unwrap_or_default();
+    let (sim_trace, fastpath) = match report.sim {
+        Some(r) => (
+            r.trace,
+            Some((r.stats.fastpath_hits, r.stats.fastpath_fallbacks)),
+        ),
+        None => (Vec::new(), None),
+    };
     let logs = sink.take_logs();
     let meta = TraceMeta {
         backend: backend.name(),
@@ -352,6 +371,7 @@ pub fn trace_workload(kind: QueueKind, w: &Workload, backend: BackendKind) -> Tr
             "{} {:?} {}p+{}c",
             measurement.queue, w.kind, w.producers, w.consumers
         ),
+        fastpath,
     };
     TracedRun {
         chrome_json: obs::export(&logs, &sim_trace, &meta),

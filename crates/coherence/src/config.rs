@@ -97,6 +97,17 @@ pub struct MachineConfig {
     /// perturbation (and nothing else — the simulator is otherwise
     /// deterministic).
     pub seed: u64,
+    /// Decide uncontended local-hit operations at submission — no
+    /// directory messages, no inbox, no per-op dispatch; a single
+    /// stand-in event finishes the op — whenever doing so is provably
+    /// bit-exact with the full protocol (see `Sim::try_fast_path` and
+    /// DESIGN.md §12 for the admission conditions). The slow path remains
+    /// the semantic reference: runs with this flag off are byte-identical
+    /// to runs with it on, just slower. Default on; setting the
+    /// `SBQ_FAST_PATH=0` environment variable flips the default off,
+    /// which is how the CI golden job replays the determinism suite on
+    /// the pure protocol path.
+    pub fast_path: bool,
     /// Run simulated cores on dedicated OS threads (the slot-handshake
     /// token-passing scheduler) instead of the default in-process fiber
     /// scheduler. On targets without fiber support (non-x86_64) the
@@ -137,6 +148,7 @@ impl Default for MachineConfig {
             tx_capacity_lines: 0,
             sched_perturb: 0,
             seed: 0x5b90,
+            fast_path: std::env::var_os("SBQ_FAST_PATH").is_none_or(|v| v != "0"),
             os_thread_scheduler: false,
             trace: false,
             check_invariants: cfg!(debug_assertions),

@@ -29,6 +29,22 @@
 //! ownership is already held are stalled until commit/abort rather than
 //! aborting the transaction; the true tripped-writer abort is the Fwd-GetS
 //! that arrives while the GetM is still pending.
+//!
+//! ### State layout and the uncontended fast path
+//!
+//! Line addresses are interned into a dense [`LineId`] arena; everything
+//! keyed per line — cache state/value/transaction flags, the directory —
+//! is an arena-indexed array rather than a hash map, so the per-operation
+//! hit check is a couple of indexed loads and a 176-core machine's state
+//! stays cache-resident. On top of that layout, `submit_op` decides
+//! uncontended local hits at submission: the state mutation happens
+//! immediately (or is delegated for RMWs) and a single stand-in event —
+//! no directory messages, no inbox traversal, no per-op dispatch —
+//! retires the op at exactly the time and event-sequence position the
+//! full protocol would have used. The admission conditions (see
+//! [`Sim::try_fast_path`]) are chosen so this is provably bit-exact with
+//! the full protocol, which remains available as the semantic reference
+//! via `MachineConfig::fast_path = false`.
 
 use crate::config::MachineConfig;
 use crate::fxhash::FxHashMap;
@@ -40,24 +56,90 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-/// A small set of line addresses (transaction read/write sets). The
-/// paper's transactions touch a handful of lines, so a linear-scan vector
-/// beats any tree or table — and unlike a hash set it allocates nothing
-/// after the first few inserts and iterates in deterministic (insertion)
-/// order.
+/// Dense index of an interned line address. Word-granular simulated
+/// memory recycles addresses through `simalloc`, so the arena stays small
+/// even over long runs and dense per-line arrays stay cache-resident.
+type LineId = u32;
+
+/// The address ⇄ id interner shared by the directory and every cache.
+#[derive(Debug)]
+struct LineArena {
+    ids: FxHashMap<u64, LineId>,
+    addrs: Vec<u64>,
+    /// One-entry lookup memo. Workloads hammer a handful of lines (a
+    /// shared counter, a queue's head/tail), so consecutive lookups
+    /// usually repeat the previous address; the memo answers them with a
+    /// compare instead of a hash probe. `u64::MAX` is never a line
+    /// address (word-granular addresses come from `simalloc`), so it
+    /// serves as the empty sentinel.
+    last: (u64, LineId),
+}
+
+impl Default for LineArena {
+    fn default() -> Self {
+        LineArena {
+            ids: FxHashMap::default(),
+            addrs: Vec::new(),
+            last: (u64::MAX, 0),
+        }
+    }
+}
+
+impl LineArena {
+    /// Id of `addr`, allocating one on first sight.
+    #[inline]
+    fn intern(&mut self, addr: u64) -> LineId {
+        if self.last.0 == addr {
+            return self.last.1;
+        }
+        let id = if let Some(&id) = self.ids.get(&addr) {
+            id
+        } else {
+            let id = self.addrs.len() as LineId;
+            self.addrs.push(addr);
+            self.ids.insert(addr, id);
+            id
+        };
+        self.last = (addr, id);
+        id
+    }
+
+    /// Id of `addr` if it has ever been touched.
+    #[inline]
+    fn get(&mut self, addr: u64) -> Option<LineId> {
+        if self.last.0 == addr {
+            return Some(self.last.1);
+        }
+        let id = self.ids.get(&addr).copied();
+        if let Some(id) = id {
+            self.last = (addr, id);
+        }
+        id
+    }
+
+    /// Number of distinct lines ever touched.
+    fn len(&self) -> usize {
+        self.addrs.len()
+    }
+}
+
+/// A small set of line ids (transaction read/write sets). The paper's
+/// transactions touch a handful of lines, so a linear-scan vector beats
+/// any tree or table — and unlike a hash set it allocates nothing after
+/// the first few inserts and iterates in deterministic (insertion) order.
 #[derive(Debug, Default)]
 struct LineSet {
-    lines: Vec<u64>,
+    lines: Vec<LineId>,
 }
 
 impl LineSet {
     #[inline]
-    fn contains(&self, line: u64) -> bool {
+    fn contains(&self, line: LineId) -> bool {
         self.lines.contains(&line)
     }
 
     #[inline]
-    fn insert(&mut self, line: u64) {
+    fn insert(&mut self, line: LineId) {
         if !self.lines.contains(&line) {
             self.lines.push(line);
         }
@@ -68,7 +150,7 @@ impl LineSet {
         self.lines.len()
     }
 
-    fn iter(&self) -> impl Iterator<Item = &u64> {
+    fn iter(&self) -> impl Iterator<Item = &LineId> {
         self.lines.iter()
     }
 
@@ -110,12 +192,12 @@ impl SharerSet {
 /// Stable state of a line in a private cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CState {
-    Invalid,
-    Shared,
+    Invalid = 0,
+    Shared = 1,
     /// MESI Exclusive: sole clean copy; silent upgrade to Modified on
     /// write (only granted when `MachineConfig::mesi_exclusive` is set).
-    Exclusive,
-    Modified,
+    Exclusive = 2,
+    Modified = 3,
 }
 
 impl CState {
@@ -125,22 +207,24 @@ impl CState {
     }
 }
 
-/// A line resident in a private cache. Capacity is not modelled: the
-/// working sets of the paper's benchmarks (a few contended words per
-/// operation) never approach L1 capacity, and HTM capacity aborts are
-/// represented by the configurable spurious-abort rate instead.
-#[derive(Debug, Clone)]
-struct CacheLine {
-    state: CState,
-    value: u64,
-    /// Line is in the running transaction's read set.
-    tr: bool,
-    /// Line is in the running transaction's write set with the write
-    /// applied (value holds the transactional, uncommitted datum).
-    tw: bool,
-    /// Pre-transaction value to restore if the transaction aborts after
-    /// the write was applied.
-    clean: u64,
+/// Per-line flag byte layout (see [`Cache::flags`]): the two state bits
+/// plus the transactional read/write marks.
+const F_STATE: u8 = 0b0011;
+/// Line is in the running transaction's read set.
+const F_TR: u8 = 0b0100;
+/// Line is in the running transaction's write set with the write applied
+/// (`values` holds the transactional, uncommitted datum; `cleans` the
+/// pre-transaction one).
+const F_TW: u8 = 0b1000;
+
+#[inline]
+fn decode_state(flags: u8) -> CState {
+    match flags & F_STATE {
+        0 => CState::Invalid,
+        1 => CState::Shared,
+        2 => CState::Exclusive,
+        _ => CState::Modified,
+    }
 }
 
 /// What the blocked thread wants done when its coherence request completes.
@@ -162,10 +246,11 @@ enum Waiter {
 /// An outstanding coherence request. A core has at most one request its
 /// thread is *blocked on*, plus any number of *headless* requests left
 /// behind by aborted transactions (§3.3: the cache still takes ownership,
-/// asynchronously, while the core moves on).
+/// asynchronously, while the core moves on). Few enough at any instant
+/// that a linear-scan vector beats a hash map.
 #[derive(Debug)]
 struct PendingReq {
-    line: u64,
+    line: LineId,
     is_getm: bool,
     have_data: bool,
     value: u64,
@@ -206,33 +291,42 @@ enum OpState {
     RmwExec,
 }
 
-/// One core's private cache controller plus HTM state.
+/// One core's private cache controller plus HTM state. Per-line state is
+/// structure-of-arrays, dense over the line arena: the flag byte, the
+/// current value, and the pre-transaction value live in three parallel
+/// vectors grown lazily to the highest line this cache has touched.
 #[derive(Debug)]
 struct Cache {
-    lines: FxHashMap<u64, CacheLine>,
-    /// Outstanding coherence requests, keyed by line: at most one the
-    /// thread waits on (waiter set / deferred op), plus headless ones.
-    pending: FxHashMap<u64, PendingReq>,
+    /// Per-line flag byte, indexed by [`LineId`]: bits 0–1 the
+    /// [`CState`], bit 2 `F_TR`, bit 3 `F_TW`. Lines beyond the vector
+    /// are Invalid with no marks.
+    flags: Vec<u8>,
+    /// Per-line current value (transactional, uncommitted datum while
+    /// `F_TW` is set).
+    values: Vec<u64>,
+    /// Per-line pre-transaction value to restore on abort (valid while
+    /// `F_TW` is set).
+    cleans: Vec<u64>,
+    /// Outstanding coherence requests: at most one the thread waits on
+    /// (waiter set / deferred op), plus headless ones. Linear scan.
+    pending: Vec<PendingReq>,
     /// A thread operation deferred because a (headless) request for its
     /// line is already in flight; re-dispatched at that request's
     /// completion (the MSHR-merge a real core performs).
     deferred: Option<OpKind>,
-    deferred_line: u64,
+    deferred_line: LineId,
     /// Coherence requests stalled behind a pending request / executing RMW
-    /// / committing transaction, indexed by line so release checks are one
-    /// lookup instead of a whole-queue scan. Each message carries its
-    /// arrival stamp; releases replay in global stamp order, matching the
-    /// arrival-ordered queue this replaces.
-    stalled: FxHashMap<u64, VecDeque<(u64, Msg)>>,
-    /// Messages across all `stalled` buckets.
-    stalled_count: usize,
+    /// / committing transaction. Appended in arrival order, so the vector
+    /// order *is* stamp order; releases replay unblocked messages in that
+    /// order, matching the arrival-ordered queue this replaces.
+    stalled: Vec<(u64, LineId, Msg)>,
     /// Arrival counter feeding the stamps in `stalled`.
     stall_stamp: u64,
     /// An RMW is executing (between data arrival and `RmwDone`): incoming
     /// Fwd requests must wait (§3.2).
     rmw_busy: bool,
     /// Line the executing RMW targets (valid while `rmw_busy`).
-    rmw_line: u64,
+    rmw_line: LineId,
     txn: Option<Txn>,
     /// Retired transaction bookkeeping kept for reuse, so `xbegin` after
     /// the first never allocates read/write-set storage.
@@ -249,12 +343,13 @@ struct Cache {
 impl Cache {
     fn new(socket: usize) -> Self {
         Cache {
-            lines: FxHashMap::default(),
-            pending: FxHashMap::default(),
+            flags: Vec::new(),
+            values: Vec::new(),
+            cleans: Vec::new(),
+            pending: Vec::new(),
             deferred: None,
             deferred_line: 0,
-            stalled: FxHashMap::default(),
-            stalled_count: 0,
+            stalled: Vec::new(),
             stall_stamp: 0,
             rmw_busy: false,
             rmw_line: 0,
@@ -267,55 +362,96 @@ impl Cache {
         }
     }
 
+    /// Grows the per-line arrays to cover `line`.
+    #[inline]
+    fn ensure(&mut self, line: LineId) {
+        let need = line as usize + 1;
+        if self.flags.len() < need {
+            self.flags.resize(need, 0);
+            self.values.resize(need, 0);
+            self.cleans.resize(need, 0);
+        }
+    }
+
+    #[inline]
+    fn state(&self, line: LineId) -> CState {
+        decode_state(self.flags.get(line as usize).copied().unwrap_or(0))
+    }
+
+    #[inline]
+    fn set_state(&mut self, line: LineId, s: CState) {
+        self.ensure(line);
+        let f = &mut self.flags[line as usize];
+        *f = (*f & !F_STATE) | s as u8;
+    }
+
+    #[inline]
+    fn value(&self, line: LineId) -> u64 {
+        self.values.get(line as usize).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn flag(&self, line: LineId, bit: u8) -> bool {
+        self.flags.get(line as usize).copied().unwrap_or(0) & bit != 0
+    }
+
+    #[inline]
+    fn set_flag(&mut self, line: LineId, bit: u8, on: bool) {
+        self.ensure(line);
+        let f = &mut self.flags[line as usize];
+        if on {
+            *f |= bit;
+        } else {
+            *f &= !bit;
+        }
+    }
+
     /// The line of the request the thread is currently blocked on, if any.
-    fn thread_pending_line(&self) -> Option<u64> {
+    fn thread_pending_line(&self) -> Option<LineId> {
         self.pending
-            .values()
+            .iter()
             .find(|p| p.waiter.is_some())
             .map(|p| p.line)
     }
 
-    fn line(&mut self, line: u64) -> &mut CacheLine {
-        self.lines.entry(line).or_insert_with(|| CacheLine {
-            state: CState::Invalid,
-            value: 0,
-            tr: false,
-            tw: false,
-            clean: 0,
-        })
+    #[inline]
+    fn pending_on(&self, line: LineId) -> bool {
+        self.pending.iter().any(|p| p.line == line)
     }
 
-    fn state(&self, line: u64) -> CState {
-        self.lines
-            .get(&line)
-            .map(|l| l.state)
-            .unwrap_or(CState::Invalid)
+    #[inline]
+    fn pending_get_mut(&mut self, line: LineId) -> Option<&mut PendingReq> {
+        self.pending.iter_mut().find(|p| p.line == line)
+    }
+
+    /// Removes and returns the pending request for `line`, preserving the
+    /// order of the rest (order is observable through `thread_pending_line`
+    /// and the abort path's first-waiter scan).
+    fn pending_remove(&mut self, line: LineId) -> Option<PendingReq> {
+        let pos = self.pending.iter().position(|p| p.line == line)?;
+        Some(self.pending.remove(pos))
     }
 
     fn in_txn(&self) -> bool {
         self.txn.is_some()
     }
 
-    fn txn_reads(&self, line: u64) -> bool {
+    fn txn_reads(&self, line: LineId) -> bool {
         self.txn.as_ref().is_some_and(|t| t.read_set.contains(line))
     }
 
-    fn txn_writes(&self, line: u64) -> bool {
+    fn txn_writes(&self, line: LineId) -> bool {
         self.txn
             .as_ref()
             .is_some_and(|t| t.write_set.contains(line))
     }
 
-    /// Files `msg` under its line in the stalled index, stamped with the
-    /// per-cache arrival counter.
-    fn stall(&mut self, msg: Msg) {
+    /// Files `msg` in the stalled queue, stamped with the per-cache
+    /// arrival counter.
+    fn stall(&mut self, line: LineId, msg: Msg) {
         self.stall_stamp += 1;
         let stamp = self.stall_stamp;
-        self.stalled
-            .entry(msg.line())
-            .or_default()
-            .push_back((stamp, msg));
-        self.stalled_count += 1;
+        self.stalled.push((stamp, line, msg));
     }
 }
 
@@ -343,19 +479,29 @@ struct DirEntry {
     queued: VecDeque<(usize, Msg)>,
 }
 
-/// The directory (shared LLC slice).
-#[derive(Debug, Default)]
-struct Directory {
-    entries: FxHashMap<u64, DirEntry>,
-}
-
-impl Directory {
-    fn entry(&mut self, line: u64) -> &mut DirEntry {
-        self.entries.entry(line).or_insert_with(|| DirEntry {
+impl Default for DirEntry {
+    fn default() -> Self {
+        DirEntry {
             state: DirState::Invalid,
             mem: 0,
             queued: VecDeque::new(),
-        })
+        }
+    }
+}
+
+/// The directory (shared LLC slice): a dense array over the line arena.
+#[derive(Debug, Default)]
+struct Directory {
+    entries: Vec<DirEntry>,
+}
+
+impl Directory {
+    fn entry(&mut self, line: LineId) -> &mut DirEntry {
+        let need = line as usize + 1;
+        if self.entries.len() < need {
+            self.entries.resize_with(need, DirEntry::default);
+        }
+        &mut self.entries[line as usize]
     }
 }
 
@@ -370,6 +516,21 @@ enum Event {
     RmwDone { core: usize, gen: u64 },
     /// A `delay()` elapses on `core` (cancellable by abort).
     DelayDone { core: usize, gen: u64 },
+    /// Fast-path hit (read, or transactional write on an owned line):
+    /// the result was computed and applied at submission; this event
+    /// stands in for the `IssueOp` and resumes the thread with the
+    /// configured hit latency. See [`Sim::try_fast_path`].
+    FastHit { core: usize, result: u64 },
+    /// Fast-path RMW/store on an owned line: stands in for the `IssueOp`
+    /// and enters `start_rmw` directly — the line is already interned
+    /// and known writable, so the inbox, `begin_op` checks, and the
+    /// store dispatch are skipped. From here on the op runs the ordinary
+    /// RMW window (`RmwDone`, stall handling) unchanged.
+    FastRmw {
+        core: usize,
+        line: LineId,
+        waiter: Waiter,
+    },
 }
 
 struct HeapItem {
@@ -407,6 +568,14 @@ impl Ord for HeapItem {
 /// Times at or beyond the horizon (long `delay()`s) overflow into a
 /// binary heap and migrate into the wheel as the clock advances.
 ///
+/// Delivery is batched per wheel tick: within the horizon, each slot
+/// holds exactly one time value, and the slot of the *current* clock can
+/// only hold events at exactly the clock — which are by construction the
+/// queue minimum. `pop` therefore drains the current tick's bucket with
+/// direct indexed pops, paying the bitmap scan (and the overflow-
+/// migration check) once per distinct timestamp rather than once per
+/// event.
+///
 /// Order preservation: within the horizon each bucket holds exactly one
 /// time value (times are unique mod `WHEEL` there), and appends happen in
 /// `seq` order, so bucket FIFO order is `(time, seq)` order. An overflow
@@ -414,23 +583,46 @@ impl Ord for HeapItem {
 /// (a push at `t` requires `t < clock + WHEEL`, and migration runs
 /// whenever the clock advances), so mixed buckets stay seq-sorted too.
 struct EventQ {
-    wheel: Vec<VecDeque<(u64, u64, Event)>>,
+    /// Per-bucket FIFO list heads/tails into `nodes`; `NIL` = empty.
+    heads: Box<[u32; WHEEL as usize]>,
+    tails: Box<[u32; WHEEL as usize]>,
+    /// Slab of list nodes. Freed nodes chain through `free` and are
+    /// reused, so the steady state allocates nothing and the hot nodes
+    /// stay in a few cache lines.
+    nodes: Vec<EventNode>,
+    free: u32,
     /// One bit per wheel bucket: bucket non-empty.
-    occupied: Vec<u64>,
+    occupied: [u64; (WHEEL / 64) as usize],
     far: BinaryHeap<HeapItem>,
     len: usize,
 }
 
+/// A wheel-bucket list node. It stores *only* the event: within the
+/// horizon a slot holds exactly one time value (recomputed from the slot
+/// index on pop), and FIFO position already encodes `seq` order, so
+/// neither needs to be materialized — nodes stay small and the slab hot.
+struct EventNode {
+    ev: Event,
+    next: u32,
+}
+
+const NIL: u32 = u32::MAX;
+
 /// Wheel size in buckets. Must exceed every in-flight latency the
 /// protocol generates on its own (hops, RMW/commit windows); only long
-/// program `delay()`s should overflow.
-const WHEEL: u64 = 4096;
+/// program `delay()`s should overflow. Kept small on purpose: the whole
+/// wheel (slots, bitmap, and the steady-state slab) then fits in L1/L2,
+/// and the pop-time bitmap scan touches at most four words.
+const WHEEL: u64 = 256;
 
 impl EventQ {
     fn new() -> Self {
         EventQ {
-            wheel: (0..WHEEL).map(|_| VecDeque::new()).collect(),
-            occupied: vec![0u64; (WHEEL / 64) as usize],
+            heads: Box::new([NIL; WHEEL as usize]),
+            tails: Box::new([NIL; WHEEL as usize]),
+            nodes: Vec::new(),
+            free: NIL,
+            occupied: [0u64; (WHEEL / 64) as usize],
             far: BinaryHeap::new(),
             len: 0,
         }
@@ -442,41 +634,114 @@ impl EventQ {
 
     #[inline]
     fn mark(&mut self, slot: u64) {
-        self.occupied[(slot / 64) as usize] |= 1u64 << (slot % 64);
+        self.occupied[(slot / 64 % (WHEEL / 64)) as usize] |= 1u64 << (slot % 64);
+    }
+
+    #[inline]
+    fn unmark(&mut self, slot: u64) {
+        self.occupied[(slot / 64 % (WHEEL / 64)) as usize] &= !(1u64 << (slot % 64));
+    }
+
+    /// Appends to `slot`'s FIFO, preserving push (= `seq`) order.
+    #[inline]
+    fn bucket_push(&mut self, slot: u64, ev: Event) {
+        let n = if self.free != NIL {
+            let n = self.free;
+            let node = &mut self.nodes[n as usize];
+            self.free = node.next;
+            node.ev = ev;
+            node.next = NIL;
+            n
+        } else {
+            let n = self.nodes.len() as u32;
+            self.nodes.push(EventNode { ev, next: NIL });
+            n
+        };
+        let tail = self.tails[(slot % WHEEL) as usize];
+        if tail == NIL {
+            self.heads[(slot % WHEEL) as usize] = n;
+            self.mark(slot);
+        } else {
+            self.nodes[tail as usize].next = n;
+        }
+        self.tails[(slot % WHEEL) as usize] = n;
+    }
+
+    /// Unlinks `slot`'s FIFO head, returning the node to the freelist.
+    #[inline]
+    fn bucket_pop(&mut self, slot: u64) -> Option<Event> {
+        let n = self.heads[(slot % WHEEL) as usize];
+        if n == NIL {
+            return None;
+        }
+        let node = &mut self.nodes[n as usize];
+        let item = std::mem::replace(&mut node.ev, Event::IssueOp { core: 0 });
+        let next = node.next;
+        node.next = self.free;
+        self.free = n;
+        self.heads[(slot % WHEEL) as usize] = next;
+        if next == NIL {
+            self.tails[(slot % WHEEL) as usize] = NIL;
+            self.unmark(slot);
+        }
+        Some(item)
     }
 
     #[inline]
     fn push(&mut self, clock: u64, time: u64, seq: u64, ev: Event) {
         self.len += 1;
         if time - clock < WHEEL {
-            let slot = time % WHEEL;
-            self.wheel[slot as usize].push_back((time, seq, ev));
-            self.mark(slot);
+            let _ = seq; // implicit in FIFO position within the horizon
+            self.bucket_push(time % WHEEL, ev);
         } else {
             self.far.push(HeapItem { time, seq, ev });
         }
     }
 
-    /// Removes and returns the earliest event. `clock` is the simulator's
-    /// current time; no event is ever scheduled in the past.
-    fn pop(&mut self, clock: u64) -> Option<(u64, u64, Event)> {
+    /// The unique time an occupied wheel `slot` can hold: the one value in
+    /// `[clock, clock + WHEEL)` congruent to `slot` mod `WHEEL`.
+    #[inline]
+    fn slot_time(clock: u64, slot: u64) -> u64 {
+        clock + (slot.wrapping_sub(clock) % WHEEL)
+    }
+
+    /// Time of the earliest event, without removing it. `clock` is the
+    /// simulator's current time; no event is ever scheduled in the past.
+    fn next_time(&self, clock: u64) -> Option<u64> {
         if self.len == 0 {
             return None;
         }
+        match self.scan(clock) {
+            Some(slot) => Some(Self::slot_time(clock, slot)),
+            None => Some(self.far.peek().expect("len counted a missing event").time),
+        }
+    }
+
+    /// Removes and returns the earliest event. `clock` is the simulator's
+    /// current time; no event is ever scheduled in the past.
+    fn pop(&mut self, clock: u64) -> Option<(u64, Event)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Same-tick fast pop: the current clock's slot can only hold
+        // events at exactly `clock` (time ≡ slot mod WHEEL, and pushes
+        // land within the horizon), which are the queue minimum. The
+        // clock does not advance, so the overflow heap cannot have
+        // entered the horizon — skip the scan and the migration check.
+        if let Some(ev) = self.bucket_pop(clock % WHEEL) {
+            self.len -= 1;
+            return Some((clock, ev));
+        }
         self.len -= 1;
-        let (time, seq, ev) = match self.scan(clock) {
+        let (time, ev) = match self.scan(clock) {
             Some(slot) => {
-                let bucket = &mut self.wheel[slot as usize];
-                let item = bucket.pop_front().expect("occupied bit without items");
-                if bucket.is_empty() {
-                    self.occupied[(slot / 64) as usize] &= !(1u64 << (slot % 64));
-                }
-                item
+                let ev = self.bucket_pop(slot).expect("occupied bit without items");
+                (Self::slot_time(clock, slot), ev)
             }
             None => {
                 // Wheel empty: the overflow heap holds the minimum.
                 let item = self.far.pop().expect("len counted a missing event");
-                (item.time, item.seq, item.ev)
+                (item.time, item.ev)
             }
         };
         // The clock is about to advance to `time`: pull newly in-horizon
@@ -487,11 +752,9 @@ impl EventQ {
                 break;
             }
             let item = self.far.pop().unwrap();
-            let slot = item.time % WHEEL;
-            self.wheel[slot as usize].push_back((item.time, item.seq, item.ev));
-            self.mark(slot);
+            self.bucket_push(item.time % WHEEL, item.ev);
         }
-        Some((time, seq, ev))
+        Some((time, ev))
     }
 
     /// Finds the occupied bucket with the smallest time ≥ `clock`, i.e.
@@ -577,6 +840,7 @@ pub struct Sim {
     clock: u64,
     seq: u64,
     events: EventQ,
+    lines: LineArena,
     dir: Directory,
     caches: Vec<Cache>,
     /// Operation each core's thread has issued and not yet begun.
@@ -592,8 +856,15 @@ pub struct Sim {
     dir_free_at: u64,
     /// Earliest time each cache can serve its next incoming request.
     cache_free_at: Vec<u64>,
+    /// Number of `Deliver`-to-core events currently in the wheel, per
+    /// core. A core with zero in-flight messages and an issue time `t <
+    /// clock + hop_min` provably receives nothing before `t` — the
+    /// fast-path non-interference gate.
+    inflight_to: Vec<u32>,
+    /// Minimum one-way hop latency, precomputed for the fast-path gate.
+    hop_min: u64,
     /// Reusable buffer for released stalled messages.
-    stall_scratch: Vec<(u64, Msg)>,
+    stall_scratch: Vec<(u64, LineId, Msg)>,
     /// Reusable buffer for directory-queued request replay.
     wb_scratch: VecDeque<(usize, Msg)>,
 }
@@ -608,6 +879,7 @@ impl Sim {
             clock: 0,
             seq: 0,
             events: EventQ::new(),
+            lines: LineArena::default(),
             dir: Directory::default(),
             caches,
             op_inbox: vec![None; ncaches],
@@ -617,6 +889,8 @@ impl Sim {
             check_countdown: 0,
             dir_free_at: 0,
             cache_free_at: vec![0; ncaches],
+            inflight_to: vec![0; ncaches],
+            hop_min: cfg.hop_intra.min(cfg.hop_cross),
             stall_scratch: Vec::new(),
             wb_scratch: VecDeque::new(),
             cfg,
@@ -630,6 +904,12 @@ impl Sim {
 
     fn push(&mut self, time: u64, ev: Event) {
         debug_assert!(time >= self.clock, "event scheduled in the past");
+        if let Event::Deliver {
+            to: Node::Core(c), ..
+        } = ev
+        {
+            self.inflight_to[c] += 1;
+        }
         self.seq += 1;
         self.events.push(self.clock, time, self.seq, ev);
     }
@@ -682,25 +962,208 @@ impl Sim {
     }
 
     /// Hands the engine a thread's next operation, issued at the thread's
-    /// local time `at`.
+    /// local time `at`. When the fast path admits the operation (see
+    /// [`Sim::try_fast_path`]) its outcome is decided here, at
+    /// submission, and a stand-in event delivers it at the issue time.
     pub fn submit_op(&mut self, core: usize, at: u64, op: OpKind) {
         assert!(
             self.op_inbox[core].is_none(),
             "core {core} already has an op"
         );
         assert_eq!(self.caches[core].op_state, OpState::Idle);
-        self.caches[core].op_state = OpState::Inbox;
-        self.op_inbox[core] = Some(op);
         let mut t = at.max(self.clock) + self.cfg.op_cycles;
+        // A thread's local time may lag the event clock (the clock keeps
+        // advancing while the thread runs user code), so `at < now()` is
+        // legitimate — but the *issue* must never land in the simulator's
+        // past. The clamp above guarantees it; assert the guarantee so a
+        // future fast-path change cannot silently schedule backwards.
+        debug_assert!(t >= self.clock, "operation issued into the past");
         // Scheduler-choice perturbation: stretch the issue latency so a
         // different ready core wins the next engine slot. Only IssueOp
         // times are perturbed — in-flight protocol messages keep their
         // modelled latencies, so the protocol stays well-formed and both
-        // schedulers consume the RNG in the same (submit) order.
+        // schedulers consume the RNG in the same (submit) order. Drawn
+        // before the fast-path attempt so the RNG stream is one draw per
+        // submission regardless of which path the op takes.
         if self.cfg.sched_perturb > 0 {
             t += self.rng.gen_range_inclusive(0, self.cfg.sched_perturb);
         }
+        if self.cfg.fast_path {
+            if self.try_fast_path(core, at, t, op) {
+                return;
+            }
+            self.stats.fastpath_fallbacks += 1;
+        }
+        self.caches[core].op_state = OpState::Inbox;
+        self.op_inbox[core] = Some(op);
         self.push(t, Event::IssueOp { core });
+    }
+
+    /// Attempts to retire `op` through the fast path: a local hit whose
+    /// outcome is decided *at submission*, skipping the inbox, the
+    /// `begin_op` checks, the line re-intern, and the store dispatch the
+    /// slow path runs per operation. Hits (reads; transactional writes on
+    /// owned lines) have their effects applied immediately and are
+    /// finished off by a single trivial [`Event::FastHit`]; owned
+    /// RMWs/stores go through [`Event::FastRmw`], which enters the
+    /// ordinary `start_rmw` window at the issue time. Returns false
+    /// (having changed nothing) if any admission condition fails; the
+    /// caller then takes the full path. `t` is the already-perturbed
+    /// issue time.
+    ///
+    /// The conditions are chosen so the fast path is *bit-exact* with the
+    /// slow path (DESIGN.md §12 gives the full argument):
+    ///
+    /// * the core is quiescent — no pending requests, no stalled
+    ///   messages, no RMW window, no deferred op, no pending abort;
+    /// * the op is a pure local hit (S/E/M read; E/M write or RMW outside
+    ///   a transaction; transactional read, or transactional write with
+    ///   ownership held) that sends no messages on the slow path;
+    /// * no coherence message can reach this core before the issue time
+    ///   `t`: none is in flight to it (`inflight_to == 0`), and any
+    ///   message *created* after this submission is processed at some
+    ///   event time `≥ clock` and so arrives `≥ clock + hop_min > t`.
+    ///   Before `t`, then, nothing can invalidate the decision taken at
+    ///   submission; at or after `t`, the slow path has applied the same
+    ///   mutations, so arrivals observe identical state either way.
+    ///
+    /// Event-order parity is structural, not conditional: the stand-in
+    /// event is pushed at the very point the slow path pushes `IssueOp`
+    /// (so it carries the same `(time, seq)` key), and `FastRmw` pushes
+    /// `RmwDone` from inside `start_rmw` at `t` exactly as the slow path
+    /// does — every interleaving with other events, stalls, and resumes
+    /// is preserved. A hit's effects land at submission instead of at
+    /// `t`; the difference is unobservable because nothing arrives in
+    /// between.
+    fn try_fast_path(&mut self, core: usize, at: u64, t: u64, op: OpKind) -> bool {
+        let Some(addr) = op_line(&op) else {
+            // Delays draw jitter from the RNG; transaction begin/end/abort
+            // commit, trace, and may draw the spurious-abort RNG. All take
+            // the slow path.
+            return false;
+        };
+        // Non-interference gate first — it is two loads and rejects most
+        // contended submissions before the per-core scans and the line
+        // lookup below: nothing in flight to this core, and the issue
+        // time close enough that nothing new can arrive before it.
+        if self.inflight_to[core] != 0 || t >= self.clock + self.hop_min {
+            return false;
+        }
+        {
+            let c = &self.caches[core];
+            if !c.pending.is_empty()
+                || !c.stalled.is_empty()
+                || c.rmw_busy
+                || c.pending_abort.is_some()
+                || c.deferred.is_some()
+            {
+                return false;
+            }
+        }
+        // A line never touched by anyone is Invalid everywhere: a miss.
+        let Some(line) = self.lines.get(addr) else {
+            return false;
+        };
+        let (state, in_txn) = {
+            let c = &self.caches[core];
+            (c.state(line), c.in_txn())
+        };
+        let cap = self.cfg.tx_capacity_lines;
+        // `None` = hit shape (effects applied now, one `FastHit` event);
+        // `Some(waiter)` = RMW shape (a `FastRmw` event enters the
+        // ordinary `start_rmw` window at `t`).
+        let rmw_waiter: Option<Waiter> = match op {
+            OpKind::Read(_) => {
+                if state == CState::Invalid {
+                    return false;
+                }
+                if in_txn && cap > 0 {
+                    let tx = self.caches[core].txn.as_ref().unwrap();
+                    let grow = usize::from(!tx.read_set.contains(line));
+                    if tx.read_set.len() + tx.write_set.len() + grow > cap {
+                        return false; // would capacity-abort: slow path
+                    }
+                }
+                None
+            }
+            OpKind::Write(..) if in_txn => {
+                if !state.writable() {
+                    return false;
+                }
+                if cap > 0 {
+                    let tx = self.caches[core].txn.as_ref().unwrap();
+                    let grow = usize::from(!tx.write_set.contains(line));
+                    if tx.read_set.len() + tx.write_set.len() + grow > cap {
+                        return false;
+                    }
+                }
+                None
+            }
+            OpKind::Write(_, v) => {
+                if !state.writable() {
+                    return false;
+                }
+                Some(Waiter::Write(v))
+            }
+            OpKind::Cas(_, old, new) => {
+                // RMW inside a transaction is unsupported (slow path
+                // panics); outside one it needs ownership.
+                if in_txn || !state.writable() {
+                    return false;
+                }
+                Some(Waiter::Cas { old, new })
+            }
+            OpKind::Faa(_, v) => {
+                if in_txn || !state.writable() {
+                    return false;
+                }
+                Some(Waiter::Faa(v))
+            }
+            OpKind::Swap(_, v) => {
+                if in_txn || !state.writable() {
+                    return false;
+                }
+                Some(Waiter::Swap(v))
+            }
+            _ => return false,
+        };
+        debug_assert!(t >= at && t >= self.clock, "fast-path issue in the past");
+
+        // Admitted. The slow path counts the op when it issues; counting
+        // at submission instead leaves the totals identical.
+        self.stats.count_op(op.name_id());
+        self.stats.fastpath_hits += 1;
+        self.caches[core].op_state = OpState::Inbox;
+        if let Some(waiter) = rmw_waiter {
+            self.push(t, Event::FastRmw { core, line, waiter });
+            return true;
+        }
+        // Hit shape: apply the op's effects now (nothing observes this
+        // core before `t`) and precompute the result.
+        let c = &mut self.caches[core];
+        let result = match op {
+            OpKind::Read(_) => {
+                if in_txn {
+                    c.set_flag(line, F_TR, true);
+                    c.txn.as_mut().unwrap().read_set.insert(line);
+                }
+                c.value(line)
+            }
+            OpKind::Write(_, v) => {
+                debug_assert!(in_txn);
+                c.txn.as_mut().unwrap().write_set.insert(line);
+                c.set_state(line, CState::Modified);
+                if !c.flag(line, F_TW) {
+                    c.cleans[line as usize] = c.values[line as usize];
+                    c.set_flag(line, F_TW, true);
+                }
+                c.values[line as usize] = v;
+                0
+            }
+            _ => unreachable!("ineligible op admitted to the fast path"),
+        };
+        self.push(t, Event::FastHit { core, result });
+        true
     }
 
     /// True if any event remains.
@@ -710,15 +1173,19 @@ impl Sim {
 
     /// Processes the next event; returns false if the queue was empty.
     pub fn step(&mut self) -> bool {
-        let Some((time, _seq, ev)) = self.events.pop(self.clock) else {
+        let Some((time, ev)) = self.events.pop(self.clock) else {
             return false;
         };
         debug_assert!(time >= self.clock);
         self.clock = time;
+        self.stats.events += 1;
         match ev {
             Event::Deliver { to, msg } => match to {
                 Node::Dir => self.dir_handle(msg),
-                Node::Core(c) => self.cache_handle(c, msg),
+                Node::Core(c) => {
+                    self.inflight_to[c] -= 1;
+                    self.cache_handle(c, msg);
+                }
             },
             Event::IssueOp { core } => {
                 let op = self.op_inbox[core].take().expect("no op in inbox");
@@ -736,6 +1203,20 @@ impl Sim {
                     debug_assert_eq!(self.caches[core].op_state, OpState::Delaying);
                     self.resume_at(core, self.clock, OpOutcome::Val(0));
                 }
+            }
+            Event::FastHit { core, result } => {
+                debug_assert_eq!(self.caches[core].op_state, OpState::Inbox);
+                self.caches[core].op_state = OpState::Current;
+                let done = self.clock + self.cfg.hit_cycles;
+                self.resume_at(core, done, OpOutcome::Val(result));
+            }
+            Event::FastRmw { core, line, waiter } => {
+                debug_assert_eq!(self.caches[core].op_state, OpState::Inbox);
+                self.caches[core].op_state = OpState::Current;
+                // M, or E silently upgraded by the store (MESI-E) —
+                // mirrors the owned branch of `op_store`.
+                self.caches[core].set_state(line, CState::Modified);
+                self.start_rmw(core, line, waiter);
             }
         }
         if self.cfg.check_invariants {
@@ -764,11 +1245,18 @@ impl Sim {
         // MSHR merge: a memory operation on a line with an in-flight
         // (headless) request waits for that request rather than issuing a
         // second one.
-        if let Some(line) = op_line(&op) {
+        if let Some(addr) = op_line(&op) {
+            let line = self.lines.intern(addr);
             let cache = &mut self.caches[core];
-            if cache.pending.contains_key(&line) {
+            if cache.pending_on(line) {
                 debug_assert!(
-                    cache.pending[&line].waiter.is_none(),
+                    cache
+                        .pending
+                        .iter()
+                        .find(|p| p.line == line)
+                        .unwrap()
+                        .waiter
+                        .is_none(),
                     "thread already blocked on this line"
                 );
                 cache.deferred = Some(op);
@@ -784,11 +1272,11 @@ impl Sim {
     /// directly when a deferred op is re-issued at request completion.
     fn begin_op_dispatch(&mut self, core: usize, op: OpKind) {
         match op {
-            OpKind::Read(line) => self.op_read(core, line),
-            OpKind::Write(line, v) => self.op_store(core, line, Waiter::Write(v)),
-            OpKind::Cas(line, old, new) => self.op_store(core, line, Waiter::Cas { old, new }),
-            OpKind::Faa(line, v) => self.op_store(core, line, Waiter::Faa(v)),
-            OpKind::Swap(line, v) => self.op_store(core, line, Waiter::Swap(v)),
+            OpKind::Read(addr) => self.op_read(core, addr),
+            OpKind::Write(addr, v) => self.op_store(core, addr, Waiter::Write(v)),
+            OpKind::Cas(addr, old, new) => self.op_store(core, addr, Waiter::Cas { old, new }),
+            OpKind::Faa(addr, v) => self.op_store(core, addr, Waiter::Faa(v)),
+            OpKind::Swap(addr, v) => self.op_store(core, addr, Waiter::Swap(v)),
             OpKind::Delay(cycles) => {
                 // Apply the configured timing noise (see
                 // `MachineConfig::delay_jitter_pct`): real cores never
@@ -821,16 +1309,16 @@ impl Sim {
         }
     }
 
-    fn op_read(&mut self, core: usize, line: u64) {
+    fn op_read(&mut self, core: usize, addr: u64) {
+        let line = self.lines.intern(addr);
         let in_txn = self.caches[core].in_txn();
         let hit = {
             let cache = &mut self.caches[core];
-            let l = cache.line(line);
-            if l.state != CState::Invalid {
+            if cache.state(line) != CState::Invalid {
                 if in_txn {
-                    l.tr = true;
+                    cache.set_flag(line, F_TR, true);
                 }
-                Some(l.value)
+                Some(cache.value(line))
             } else {
                 None
             }
@@ -853,27 +1341,32 @@ impl Sim {
             return;
         }
         let cache = &mut self.caches[core];
-        let prev = cache.pending.insert(
+        debug_assert!(!cache.pending_on(line), "duplicate request for line");
+        cache.pending.push(PendingReq {
             line,
-            PendingReq {
-                line,
-                is_getm: false,
-                have_data: false,
-                value: 0,
-                acks_expected: None,
-                acks_got: 0,
-                got_excl: false,
-                waiter: Some(Waiter::Read),
+            is_getm: false,
+            have_data: false,
+            value: 0,
+            acks_expected: None,
+            acks_got: 0,
+            got_excl: false,
+            waiter: Some(Waiter::Read),
+        });
+        cache.op_state = OpState::PendingWait;
+        self.send(
+            Node::Core(core),
+            Node::Dir,
+            Msg::GetS {
+                line: addr,
+                from: core,
             },
         );
-        debug_assert!(prev.is_none(), "duplicate request for line");
-        cache.op_state = OpState::PendingWait;
-        self.send(Node::Core(core), Node::Dir, Msg::GetS { line, from: core });
     }
 
     /// All write-permission operations: plain store, CAS/FAA/SWAP, and
     /// transactional writes.
-    fn op_store(&mut self, core: usize, line: u64, waiter: Waiter) {
+    fn op_store(&mut self, core: usize, addr: u64, waiter: Waiter) {
+        let line = self.lines.intern(addr);
         let in_txn = self.caches[core].in_txn();
         if in_txn {
             // Inside a transaction the only permitted store is the
@@ -897,47 +1390,19 @@ impl Sim {
                 // Ownership already held (M, or E with a silent upgrade):
                 // buffer the write transactionally.
                 let cache = &mut self.caches[core];
-                let l = cache.line(line);
-                l.state = CState::Modified;
-                if !l.tw {
-                    l.clean = l.value;
-                    l.tw = true;
+                cache.set_state(line, CState::Modified);
+                if !cache.flag(line, F_TW) {
+                    cache.cleans[line as usize] = cache.values[line as usize];
+                    cache.set_flag(line, F_TW, true);
                 }
-                l.value = v;
+                cache.values[line as usize] = v;
                 let done = self.clock + self.cfg.hit_cycles;
                 self.resume_at(core, done, OpOutcome::Val(0));
                 return;
             }
             let cache = &mut self.caches[core];
-            let prev = cache.pending.insert(
-                line,
-                PendingReq {
-                    line,
-                    is_getm: true,
-                    have_data: false,
-                    value: 0,
-                    acks_expected: None,
-                    acks_got: 0,
-                    got_excl: false,
-                    waiter: Some(Waiter::TxWrite(v)),
-                },
-            );
-            debug_assert!(prev.is_none(), "duplicate request for line");
-            cache.op_state = OpState::PendingWait;
-            self.send(Node::Core(core), Node::Dir, Msg::GetM { line, from: core });
-            return;
-        }
-
-        if self.caches[core].state(line).writable() {
-            // M, or E silently upgraded by the store (MESI-E).
-            self.caches[core].line(line).state = CState::Modified;
-            self.start_rmw(core, line, waiter);
-            return;
-        }
-        let cache = &mut self.caches[core];
-        let prev = cache.pending.insert(
-            line,
-            PendingReq {
+            debug_assert!(!cache.pending_on(line), "duplicate request for line");
+            cache.pending.push(PendingReq {
                 line,
                 is_getm: true,
                 have_data: false,
@@ -945,18 +1410,53 @@ impl Sim {
                 acks_expected: None,
                 acks_got: 0,
                 got_excl: false,
-                waiter: Some(waiter),
+                waiter: Some(Waiter::TxWrite(v)),
+            });
+            cache.op_state = OpState::PendingWait;
+            self.send(
+                Node::Core(core),
+                Node::Dir,
+                Msg::GetM {
+                    line: addr,
+                    from: core,
+                },
+            );
+            return;
+        }
+
+        if self.caches[core].state(line).writable() {
+            // M, or E silently upgraded by the store (MESI-E).
+            self.caches[core].set_state(line, CState::Modified);
+            self.start_rmw(core, line, waiter);
+            return;
+        }
+        let cache = &mut self.caches[core];
+        debug_assert!(!cache.pending_on(line), "duplicate request for line");
+        cache.pending.push(PendingReq {
+            line,
+            is_getm: true,
+            have_data: false,
+            value: 0,
+            acks_expected: None,
+            acks_got: 0,
+            got_excl: false,
+            waiter: Some(waiter),
+        });
+        cache.op_state = OpState::PendingWait;
+        self.send(
+            Node::Core(core),
+            Node::Dir,
+            Msg::GetM {
+                line: addr,
+                from: core,
             },
         );
-        debug_assert!(prev.is_none(), "duplicate request for line");
-        cache.op_state = OpState::PendingWait;
-        self.send(Node::Core(core), Node::Dir, Msg::GetM { line, from: core });
     }
 
     /// Begins executing an RMW/store on an owned line; incoming Fwd
     /// requests stall until `rmw_done` (§3.2: the core defers coherence
     /// messages that would revoke ownership until the RMW completes).
-    fn start_rmw(&mut self, core: usize, line: u64, waiter: Waiter) {
+    fn start_rmw(&mut self, core: usize, line: LineId, waiter: Waiter) {
         let cost = match waiter {
             Waiter::Write(_) => self.cfg.hit_cycles,
             _ => self.cfg.rmw_cycles,
@@ -967,21 +1467,21 @@ impl Sim {
         cache.rmw_line = line;
         cache.gen += 1;
         let gen = cache.gen;
-        let value = cache.lines[&line].value;
-        let prev = cache.pending.insert(
-            line,
-            PendingReq {
-                line,
-                is_getm: true,
-                have_data: true,
-                value,
-                acks_expected: Some(0),
-                acks_got: 0,
-                got_excl: false,
-                waiter: Some(waiter),
-            },
+        let value = cache.value(line);
+        debug_assert!(
+            !cache.pending_on(line),
+            "RMW on a line with an in-flight request"
         );
-        debug_assert!(prev.is_none(), "RMW on a line with an in-flight request");
+        cache.pending.push(PendingReq {
+            line,
+            is_getm: true,
+            have_data: true,
+            value,
+            acks_expected: Some(0),
+            acks_got: 0,
+            got_excl: false,
+            waiter: Some(waiter),
+        });
         cache.op_state = OpState::RmwExec;
         self.push(self.clock + cost, Event::RmwDone { core, gen });
     }
@@ -989,16 +1489,15 @@ impl Sim {
     /// The RMW execution window ended: apply the operation, resume the
     /// thread, and serve stalled requests.
     fn rmw_done(&mut self, core: usize) {
-        let (result, line) = {
+        let result = {
             let cache = &mut self.caches[core];
             cache.rmw_busy = false;
             let line = cache.rmw_line;
             let p = cache
-                .pending
-                .remove(&line)
+                .pending_remove(line)
                 .expect("rmw_done without pending");
             debug_assert_eq!(p.line, line);
-            let cur = cache.lines[&line].value;
+            let cur = cache.value(line);
             let (result, newval) = match p.waiter.expect("rmw_done without waiter") {
                 Waiter::Read => (cur, cur),
                 Waiter::Write(v) => (0, v),
@@ -1013,10 +1512,10 @@ impl Sim {
                 Waiter::Swap(v) => (cur, v),
                 Waiter::TxWrite(_) => unreachable!("tx writes do not use rmw_done"),
             };
-            cache.line(line).value = newval;
-            (result, line)
+            cache.ensure(line);
+            cache.values[line as usize] = newval;
+            result
         };
-        let _ = line;
         self.resume_at(core, self.clock, OpOutcome::Val(result));
         self.drain_stalled(core);
     }
@@ -1079,10 +1578,9 @@ impl Sim {
         }
         let cache = &mut self.caches[core];
         let mut t = cache.txn.take().expect("commit without txn");
-        for line in t.read_set.iter().chain(t.write_set.iter()) {
-            if let Some(l) = cache.lines.get_mut(line) {
-                l.tr = false;
-                l.tw = false;
+        for &line in t.read_set.iter().chain(t.write_set.iter()) {
+            if (line as usize) < cache.flags.len() {
+                cache.flags[line as usize] &= !(F_TR | F_TW);
             }
         }
         t.read_set.clear();
@@ -1108,17 +1606,17 @@ impl Sim {
         {
             let cache = &mut self.caches[core];
             // Roll back transactional writes applied to owned lines.
-            for line in t.write_set.iter() {
-                if let Some(l) = cache.lines.get_mut(line) {
-                    if l.tw {
-                        l.value = l.clean;
-                        l.tw = false;
-                    }
+            for &line in t.write_set.iter() {
+                let i = line as usize;
+                if i < cache.flags.len() && cache.flags[i] & F_TW != 0 {
+                    cache.values[i] = cache.cleans[i];
+                    cache.flags[i] &= !F_TW;
                 }
             }
-            for line in t.read_set.iter() {
-                if let Some(l) = cache.lines.get_mut(line) {
-                    l.tr = false;
+            for &line in t.read_set.iter() {
+                let i = line as usize;
+                if i < cache.flags.len() {
+                    cache.flags[i] &= !F_TR;
                 }
             }
             t.read_set.clear();
@@ -1153,7 +1651,7 @@ impl Sim {
                 if cache.deferred.take().is_none() {
                     let p = cache
                         .pending
-                        .values_mut()
+                        .iter_mut()
                         .find(|p| p.waiter.is_some())
                         .expect("PendingWait without pending or deferred");
                     p.waiter = None;
@@ -1190,7 +1688,7 @@ impl Sim {
             Msg::GetS { from, .. } | Msg::GetM { from, .. } | Msg::WbData { from, .. } => from,
             other => panic!("directory cannot handle {other:?}"),
         };
-        let line = msg.line();
+        let line = self.lines.intern(msg.line());
         let e = self.dir.entry(line);
         // Queue behind a transient state (except the writeback that
         // resolves it).
@@ -1198,11 +1696,11 @@ impl Sim {
             e.queued.push_back((from, msg));
             return;
         }
-        self.dir_dispatch(from, msg);
+        self.dir_dispatch(from, line, msg);
     }
 
-    fn dir_dispatch(&mut self, from: usize, msg: Msg) {
-        let line = msg.line();
+    fn dir_dispatch(&mut self, from: usize, line: LineId, msg: Msg) {
+        let addr = msg.line();
         match msg {
             Msg::GetS { .. } => {
                 let e = self.dir.entry(line);
@@ -1218,7 +1716,7 @@ impl Sim {
                                 Node::Dir,
                                 Node::Core(from),
                                 Msg::Data {
-                                    line,
+                                    line: addr,
                                     value: v,
                                     acks: 0,
                                     excl: true,
@@ -1230,7 +1728,7 @@ impl Sim {
                                 Node::Dir,
                                 Node::Core(from),
                                 Msg::Data {
-                                    line,
+                                    line: addr,
                                     value: v,
                                     acks: 0,
                                     excl: false,
@@ -1246,7 +1744,7 @@ impl Sim {
                             Node::Dir,
                             Node::Core(from),
                             Msg::Data {
-                                line,
+                                line: addr,
                                 value: v,
                                 acks: 0,
                                 excl: false,
@@ -1260,12 +1758,12 @@ impl Sim {
                             Node::Dir,
                             Node::Core(owner),
                             Msg::FwdGetS {
-                                line,
+                                line: addr,
                                 requester: from,
                             },
                         );
                     }
-                    DirState::AwaitWb(_) => unreachable!("queued in dir_handle_at"),
+                    DirState::AwaitWb(_) => unreachable!("queued in dir_handle"),
                 }
             }
             Msg::GetM { .. } => {
@@ -1278,7 +1776,7 @@ impl Sim {
                             Node::Dir,
                             Node::Core(from),
                             Msg::Data {
-                                line,
+                                line: addr,
                                 value: v,
                                 acks: 0,
                                 excl: false,
@@ -1298,7 +1796,7 @@ impl Sim {
                             Node::Dir,
                             Node::Core(from),
                             Msg::Data {
-                                line,
+                                line: addr,
                                 value: v,
                                 acks,
                                 excl: false,
@@ -1310,7 +1808,7 @@ impl Sim {
                                     Node::Dir,
                                     Node::Core(c),
                                     Msg::Inv {
-                                        line,
+                                        line: addr,
                                         requester: from,
                                     },
                                 );
@@ -1324,12 +1822,12 @@ impl Sim {
                             Node::Dir,
                             Node::Core(owner),
                             Msg::FwdGetM {
-                                line,
+                                line: addr,
                                 requester: from,
                             },
                         );
                     }
-                    DirState::AwaitWb(_) => unreachable!("queued in dir_handle_at"),
+                    DirState::AwaitWb(_) => unreachable!("queued in dir_handle"),
                 }
             }
             Msg::WbData { value, .. } => {
@@ -1382,34 +1880,28 @@ impl Sim {
             }
             self.cache_free_at[core] = self.clock + self.cfg.cache_occupancy;
         }
+        let line = self.lines.intern(msg.line());
         match msg {
             Msg::Data {
-                line,
-                value,
-                acks,
-                excl,
+                value, acks, excl, ..
             } => self.on_data(core, line, value, acks, excl),
-            Msg::DataOwner { line, value } => self.on_data(core, line, value, 0, false),
-            Msg::InvAck { line } => {
+            Msg::DataOwner { value, .. } => self.on_data(core, line, value, 0, false),
+            Msg::InvAck { .. } => {
                 let p = self.caches[core]
-                    .pending
-                    .get_mut(&line)
+                    .pending_get_mut(line)
                     .expect("stray InvAck");
                 p.acks_got += 1;
                 self.try_complete_pending(core, line);
             }
-            Msg::Inv { line, requester } => self.on_inv(core, line, requester),
-            Msg::FwdGetS { line, requester } => self.on_fwd_gets(core, line, requester),
-            Msg::FwdGetM { line, requester } => self.on_fwd_getm(core, line, requester),
+            Msg::Inv { requester, .. } => self.on_inv(core, line, msg.line(), requester),
+            Msg::FwdGetS { requester, .. } => self.on_fwd_gets(core, line, requester),
+            Msg::FwdGetM { requester, .. } => self.on_fwd_getm(core, line, requester),
             other => panic!("cache cannot handle {other:?}"),
         }
     }
 
-    fn on_data(&mut self, core: usize, line: u64, value: u64, acks: u64, excl: bool) {
-        let p = self.caches[core]
-            .pending
-            .get_mut(&line)
-            .expect("stray Data");
+    fn on_data(&mut self, core: usize, line: LineId, value: u64, acks: u64, excl: bool) {
+        let p = self.caches[core].pending_get_mut(line).expect("stray Data");
         p.have_data = true;
         p.value = value;
         p.got_excl = excl;
@@ -1422,10 +1914,10 @@ impl Sim {
         self.try_complete_pending(core, line);
     }
 
-    fn try_complete_pending(&mut self, core: usize, line: u64) {
+    fn try_complete_pending(&mut self, core: usize, line: LineId) {
         let done = {
             let cache = &self.caches[core];
-            match cache.pending.get(&line) {
+            match cache.pending.iter().find(|p| p.line == line) {
                 Some(p) => p.have_data && p.acks_expected.is_some_and(|a| p.acks_got >= a),
                 None => false,
             }
@@ -1433,20 +1925,19 @@ impl Sim {
         if !done {
             return;
         }
-        let p = self.caches[core].pending.remove(&line).unwrap();
+        let p = self.caches[core].pending_remove(line).unwrap();
         {
             let cache = &mut self.caches[core];
-            let l = cache.line(line);
-            l.state = if p.is_getm {
+            cache.ensure(line);
+            let s = if p.is_getm {
                 CState::Modified
             } else if p.got_excl {
                 CState::Exclusive
             } else {
                 CState::Shared
             };
-            l.value = p.value;
-            l.tw = false;
-            l.tr = false;
+            cache.flags[line as usize] = s as u8; // also clears tr/tw
+            cache.values[line as usize] = p.value;
         }
 
         match p.waiter {
@@ -1467,7 +1958,7 @@ impl Sim {
             }
             Some(Waiter::Read) => {
                 if self.caches[core].in_txn() {
-                    self.caches[core].line(line).tr = true;
+                    self.caches[core].set_flag(line, F_TR, true);
                 }
                 self.resume_at(core, self.clock, OpOutcome::Val(p.value));
                 self.drain_stalled(core);
@@ -1480,10 +1971,9 @@ impl Sim {
                 // commit/abort — see the commit-atomicity note above.
                 debug_assert!(self.caches[core].in_txn());
                 let cache = &mut self.caches[core];
-                let l = cache.line(line);
-                l.clean = l.value;
-                l.value = v;
-                l.tw = true;
+                cache.cleans[line as usize] = cache.values[line as usize];
+                cache.values[line as usize] = v;
+                cache.set_flag(line, F_TW, true);
                 self.resume_at(core, self.clock, OpOutcome::Val(0));
             }
             Some(w) => {
@@ -1494,13 +1984,10 @@ impl Sim {
                     _ => self.cfg.rmw_cycles,
                 };
                 let cache = &mut self.caches[core];
-                cache.pending.insert(
-                    line,
-                    PendingReq {
-                        waiter: Some(w),
-                        ..p
-                    },
-                );
+                cache.pending.push(PendingReq {
+                    waiter: Some(w),
+                    ..p
+                });
                 cache.rmw_busy = true;
                 cache.rmw_line = line;
                 cache.gen += 1;
@@ -1511,7 +1998,7 @@ impl Sim {
         }
     }
 
-    fn on_inv(&mut self, core: usize, line: u64, requester: usize) {
+    fn on_inv(&mut self, core: usize, line: LineId, addr: u64, requester: usize) {
         // Invalidations are never stalled (that would deadlock the
         // requester counting acks). This is exactly why HTM failures are
         // concurrent: every read-phase sharer processes its Inv — and
@@ -1519,30 +2006,31 @@ impl Sim {
         let conflict = {
             let cache = &mut self.caches[core];
             let conflict = cache.txn_reads(line) || cache.txn_writes(line);
-            if let Some(l) = cache.lines.get_mut(&line) {
-                l.state = CState::Invalid;
+            if (line as usize) < cache.flags.len() {
+                cache.set_state(line, CState::Invalid);
             }
             conflict
         };
         self.send(
             Node::Core(core),
             Node::Core(requester),
-            Msg::InvAck { line },
+            Msg::InvAck { line: addr },
         );
         if conflict {
             self.abort_txn(core, txn::CONFLICT);
         }
     }
 
-    fn on_fwd_gets(&mut self, core: usize, line: u64, requester: usize) {
+    fn on_fwd_gets(&mut self, core: usize, line: LineId, requester: usize) {
         let (pending_here, txn_wrote, owns) = {
             let cache = &self.caches[core];
             (
-                cache.pending.contains_key(&line),
+                cache.pending_on(line),
                 cache.txn_writes(line),
                 cache.state(line).writable(),
             )
         };
+        let addr = self.lines.addrs[line as usize];
 
         if txn_wrote && pending_here {
             // The remote read hit the window in which our transactional
@@ -1553,7 +2041,13 @@ impl Sim {
                 // single pending GetM; stall the read until commit.
                 self.stats.fix_stalls += 1;
                 self.stats.stalls += 1;
-                self.caches[core].stall(Msg::FwdGetS { line, requester });
+                self.caches[core].stall(
+                    line,
+                    Msg::FwdGetS {
+                        line: addr,
+                        requester,
+                    },
+                );
                 return;
             }
             self.stats.tripped_writers += 1;
@@ -1561,19 +2055,37 @@ impl Sim {
             // We still become owner when the GetM completes (headless);
             // serve the read then.
             self.stats.stalls += 1;
-            self.caches[core].stall(Msg::FwdGetS { line, requester });
+            self.caches[core].stall(
+                line,
+                Msg::FwdGetS {
+                    line: addr,
+                    requester,
+                },
+            );
             return;
         }
         if txn_wrote && owns {
             // Commit window (ownership held, xend imminent): stall — see
             // the commit-atomicity note in the module docs.
             self.stats.stalls += 1;
-            self.caches[core].stall(Msg::FwdGetS { line, requester });
+            self.caches[core].stall(
+                line,
+                Msg::FwdGetS {
+                    line: addr,
+                    requester,
+                },
+            );
             return;
         }
         if pending_here || self.caches[core].rmw_busy {
             self.stats.stalls += 1;
-            self.caches[core].stall(Msg::FwdGetS { line, requester });
+            self.caches[core].stall(
+                line,
+                Msg::FwdGetS {
+                    line: addr,
+                    requester,
+                },
+            );
             return;
         }
         // A remote read of a line we own but only transactionally *read*
@@ -1581,36 +2093,42 @@ impl Sim {
         self.serve_fwd_gets(core, line, requester);
     }
 
-    fn serve_fwd_gets(&mut self, core: usize, line: u64, requester: usize) {
+    fn serve_fwd_gets(&mut self, core: usize, line: LineId, requester: usize) {
+        let addr = self.lines.addrs[line as usize];
         let v = {
             let cache = &mut self.caches[core];
-            let l = cache.line(line);
-            assert!(l.state.writable(), "Fwd-GetS to non-owner");
-            debug_assert!(!l.tw, "serving a transactionally written line");
-            l.state = CState::Shared;
-            l.value
+            assert!(cache.state(line).writable(), "Fwd-GetS to non-owner");
+            debug_assert!(
+                !cache.flag(line, F_TW),
+                "serving a transactionally written line"
+            );
+            cache.set_state(line, CState::Shared);
+            cache.value(line)
         };
         self.send(
             Node::Core(core),
             Node::Core(requester),
-            Msg::DataOwner { line, value: v },
+            Msg::DataOwner {
+                line: addr,
+                value: v,
+            },
         );
         self.send(
             Node::Core(core),
             Node::Dir,
             Msg::WbData {
-                line,
+                line: addr,
                 value: v,
                 from: core,
             },
         );
     }
 
-    fn on_fwd_getm(&mut self, core: usize, line: u64, requester: usize) {
+    fn on_fwd_getm(&mut self, core: usize, line: LineId, requester: usize) {
         let (pending_here, txn_wrote, txn_read) = {
             let cache = &self.caches[core];
             (
-                cache.pending.contains_key(&line),
+                cache.pending_on(line),
                 cache.txn_writes(line),
                 cache.txn_reads(line),
             )
@@ -1619,8 +2137,15 @@ impl Sim {
             // Stall until our own request / RMW window / commit completes
             // (Figure 2a's C2; for transactions this preserves the §3.3
             // winner, whose commit is atomic with GetM completion).
+            let addr = self.lines.addrs[line as usize];
             self.stats.stalls += 1;
-            self.caches[core].stall(Msg::FwdGetM { line, requester });
+            self.caches[core].stall(
+                line,
+                Msg::FwdGetM {
+                    line: addr,
+                    requester,
+                },
+            );
             return;
         }
         if txn_read {
@@ -1631,19 +2156,25 @@ impl Sim {
         self.serve_fwd_getm(core, line, requester);
     }
 
-    fn serve_fwd_getm(&mut self, core: usize, line: u64, requester: usize) {
+    fn serve_fwd_getm(&mut self, core: usize, line: LineId, requester: usize) {
+        let addr = self.lines.addrs[line as usize];
         let v = {
             let cache = &mut self.caches[core];
-            let l = cache.line(line);
-            assert!(l.state.writable(), "Fwd-GetM to non-owner");
-            debug_assert!(!l.tw, "handing off a transactionally written line");
-            l.state = CState::Invalid;
-            l.value
+            assert!(cache.state(line).writable(), "Fwd-GetM to non-owner");
+            debug_assert!(
+                !cache.flag(line, F_TW),
+                "handing off a transactionally written line"
+            );
+            cache.set_state(line, CState::Invalid);
+            cache.value(line)
         };
         self.send(
             Node::Core(core),
             Node::Core(requester),
-            Msg::DataOwner { line, value: v },
+            Msg::DataOwner {
+                line: addr,
+                value: v,
+            },
         );
     }
 
@@ -1653,35 +2184,30 @@ impl Sim {
     /// so every conflict/stall condition is re-evaluated from scratch —
     /// at the current simulated time.
     fn drain_stalled(&mut self, core: usize) {
-        if self.caches[core].rmw_busy || self.caches[core].stalled_count == 0 {
+        if self.caches[core].rmw_busy || self.caches[core].stalled.is_empty() {
             return; // the atomic window blocks the whole cache
         }
-        // The blocking condition is per line, so consult each line's
-        // bucket once instead of re-scanning every stalled message.
-        // Released messages are re-delivered in arrival-stamp order —
-        // exactly the order the old whole-queue scan produced — through
-        // the regular handlers, so every conflict/stall condition is
-        // re-evaluated from scratch at the current simulated time.
+        // The stalled vector is append-ordered, so a stable partition
+        // releases unblocked messages in arrival-stamp order — exactly
+        // the order the old whole-queue scan produced.
         let mut freed = std::mem::take(&mut self.stall_scratch);
         debug_assert!(freed.is_empty());
         {
             let cache = &mut self.caches[core];
             let pending = &cache.pending;
             let txn = &cache.txn;
-            cache.stalled.retain(|&line, bucket| {
-                let blocked = pending.contains_key(&line)
+            cache.stalled.retain(|&(stamp, line, msg)| {
+                let blocked = pending.iter().any(|p| p.line == line)
                     || txn.as_ref().is_some_and(|t| t.write_set.contains(line));
                 if blocked {
                     true
                 } else {
-                    freed.extend(bucket.drain(..));
+                    freed.push((stamp, line, msg));
                     false
                 }
             });
-            cache.stalled_count -= freed.len();
         }
-        freed.sort_unstable_by_key(|&(stamp, _)| stamp);
-        for &(_, msg) in &freed {
+        for &(_, _, msg) in &freed {
             self.push(
                 self.clock,
                 Event::Deliver {
@@ -1700,13 +2226,13 @@ impl Sim {
 
     /// Single-writer/multi-reader: at most one cache in M per line.
     fn check_invariants(&self) {
-        use std::collections::HashMap as Map;
-        let mut owners: Map<u64, usize> = Map::new();
+        let mut owners: Vec<Option<usize>> = vec![None; self.lines.len()];
         for (i, c) in self.caches.iter().enumerate() {
-            for (&line, l) in &c.lines {
-                if l.state.writable() {
-                    if let Some(prev) = owners.insert(line, i) {
-                        panic!("line {line:#x}: two M/E holders: C{prev} and C{i}");
+            for (line, &f) in c.flags.iter().enumerate() {
+                if decode_state(f).writable() {
+                    if let Some(prev) = owners[line].replace(i) {
+                        let addr = self.lines.addrs[line];
+                        panic!("line {addr:#x}: two M/E holders: C{prev} and C{i}");
                     }
                 }
             }
@@ -1758,6 +2284,11 @@ pub mod testhooks {
             self.clock
         }
 
+        /// Time of the earliest queued event, if any.
+        pub fn peek_time(&self) -> Option<u64> {
+            self.q.next_time(self.clock)
+        }
+
         /// Schedules `payload` at `time` (must be `>= clock()`).
         pub fn push(&mut self, time: u64, payload: u64) {
             assert!(time >= self.clock, "event scheduled in the past");
@@ -1774,7 +2305,7 @@ pub mod testhooks {
 
         /// Pops the earliest event, advancing the clock to its time.
         pub fn pop(&mut self) -> Option<(u64, u64)> {
-            let (time, _seq, ev) = self.q.pop(self.clock)?;
+            let (time, ev) = self.q.pop(self.clock)?;
             self.clock = time;
             let Event::IssueOp { core } = ev else {
                 unreachable!("probe only pushes IssueOp events");

@@ -35,6 +35,11 @@ pub struct TraceMeta {
     pub backend: &'static str,
     /// Free-form label shown as the process name ("SBQ-HTM producer 4").
     pub label: String,
+    /// Simulator fast-path totals `(hits, fallbacks)`, rendered as a
+    /// Chrome counter event on the Dir track so the admission rate sits
+    /// next to the coherence traffic it avoided. `None` for backends
+    /// without a fast path (native, runner).
+    pub fastpath: Option<(u64, u64)>,
 }
 
 /// The Dir track id; core/thread `n` maps to track `n + 1`.
@@ -184,6 +189,17 @@ pub fn export(logs: &[ThreadLog], sim_trace: &[TraceEvent], meta: &TraceMeta) ->
         }
     }
 
+    // Fast-path totals as a counter sample on the Dir track: the two
+    // series plot as stacked bars next to the message instants whose
+    // absence they explain.
+    if let Some((hits, fallbacks)) = meta.fastpath {
+        have_dir = true;
+        let json = format!(
+            "{{\"name\":\"fastpath\",\"cat\":\"coherence\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\"tid\":{DIR_TRACK},\"args\":{{\"hits\":{hits},\"fallbacks\":{fallbacks}}}}}"
+        );
+        push(&mut entries, 0, DIR_TRACK, json);
+    }
+
     entries.sort_by_key(|e| (e.ts, e.track, e.rank));
 
     let mut out = String::new();
@@ -278,6 +294,8 @@ pub struct TraceSummary {
     pub spans: usize,
     /// Instant ("i") events.
     pub instants: usize,
+    /// Counter ("C") events.
+    pub counters: usize,
     /// Metadata ("M") events.
     pub meta: usize,
     /// Distinct `tid` tracks seen on non-metadata events.
@@ -329,6 +347,10 @@ pub fn validate(text: &str) -> Result<TraceSummary, String> {
             "i" => {
                 req_num(e, "ts", i)?;
                 sum.instants += 1;
+            }
+            "C" => {
+                req_num(e, "ts", i)?;
+                sum.counters += 1;
             }
             "M" => {
                 sum.meta += 1;
@@ -383,6 +405,7 @@ mod tests {
         TraceMeta {
             backend: "sim",
             label: "unit test".to_string(),
+            fastpath: None,
         }
     }
 
@@ -402,6 +425,19 @@ mod tests {
         // Values travel as hex args.
         assert!(json.contains("0x1000000000001"));
         assert!(json.contains("\"status\":\"0x6\""));
+    }
+
+    #[test]
+    fn fastpath_counter_lands_on_dir_track() {
+        let mut m = meta();
+        m.fastpath = Some((12, 3));
+        let json = export(&sample_logs(), &[], &m);
+        let sum = validate(&json).expect("counter event must validate");
+        assert_eq!(sum.counters, 1);
+        assert!(sum.tracks.contains(&DIR_TRACK));
+        assert!(json.contains("\"hits\":12"));
+        assert!(json.contains("\"fallbacks\":3"));
+        assert!(json.contains("\"name\":\"Dir\""));
     }
 
     #[test]

@@ -162,6 +162,7 @@ impl JobReport {
         let meta = TraceMeta {
             backend: "runner",
             label: label.to_string(),
+            fastpath: None,
         };
         obs::export(&sink.take_logs(), &[], &meta)
     }

@@ -133,6 +133,7 @@ pub fn trace_plan(plan: &FuzzPlan) -> String {
             plan.seed,
             plan.threads
         ),
+        fastpath: Some((report.stats.fastpath_hits, report.stats.fastpath_fallbacks)),
     };
     obs::export(&sink.take_logs(), &report.trace, &meta)
 }

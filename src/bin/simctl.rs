@@ -64,7 +64,11 @@
 //! `simctl trace-validate <file>` re-validates any such document and
 //! prints a summary (exit 1 if invalid); `simctl bench-check <file>`
 //! checks a `BENCH_sim.json` for the per-point latency-distribution
-//! fields (`p50_ns <= p99_ns <= max_ns`, exit 1 on violation).
+//! fields (`p50_ns <= p99_ns <= max_ns`, exit 1 on violation). With
+//! `against=COMMITTED.json` it is also the performance gate: every
+//! point shared with the committed document must sustain at least
+//! `1 - max-regress/100` (default 15%) of its committed
+//! `sim_ops_per_sec`, exit 1 on regression.
 //!
 //! `simctl fuzz [options]` runs a [`simfuzz`] campaign — randomized
 //! workloads with fault injection, every history linearizability-checked;
@@ -101,7 +105,7 @@ use harness::{BackendKind, QueueKind, QueueParams};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl trace <queue> <workload> <threads> [key=value ...] [out=PATH] [tsv-out=PATH]\n       simctl trace-validate <file.json>\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH] [native=0|1] [jobs=N] [runner-trace=PATH]\n       simctl bench-check <file.json>\n       simctl fuzz [--seeds N] [--start N] [--queue K] [--backend sim|native] [--artifacts DIR] [--jobs N] [--runner-trace FILE] [--repro FILE]"
+        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl trace <queue> <workload> <threads> [key=value ...] [out=PATH] [tsv-out=PATH]\n       simctl trace-validate <file.json>\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH] [baseline-label=S] [native=0|1] [jobs=N] [runner-trace=PATH]\n       simctl bench-check <file.json> [against=COMMITTED.json] [max-regress=PCT]\n       simctl fuzz [--seeds N] [--start N] [--queue K] [--backend sim|native] [--artifacts DIR] [--jobs N] [--runner-trace FILE] [--repro FILE]"
     );
     std::process::exit(2);
 }
@@ -314,6 +318,7 @@ fn bench_main(args: &[String]) {
     let mut out = "BENCH_sim.json".to_string();
     let mut tsv_out: Option<String> = None;
     let mut baseline: Option<String> = None;
+    let mut baseline_label = "baseline".to_string();
     let mut native = false;
     // Serial by default: the benchmark measures wall time, and parallel
     // points perturb each other. `jobs=0` opts into auto.
@@ -331,6 +336,7 @@ fn bench_main(args: &[String]) {
             "out" => out = v.to_string(),
             "tsv-out" => tsv_out = Some(v.to_string()),
             "baseline" => baseline = Some(v.to_string()),
+            "baseline-label" => baseline_label = v.to_string(),
             "native" => native = v != "0",
             "jobs" => jobs = v.parse().unwrap_or_else(|_| usage()),
             "runner-trace" => runner_trace = Some(v.to_string()),
@@ -376,7 +382,7 @@ fn bench_main(args: &[String]) {
     let json = bench::wallbench::to_json(
         &label,
         &points,
-        base_points.as_deref().map(|b| ("mpsc-channel", b)),
+        base_points.as_deref().map(|b| (baseline_label.as_str(), b)),
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
@@ -453,10 +459,9 @@ fn trace_validate_main(args: &[String]) {
     }
 }
 
-/// Asserts the latency-distribution fields `simctl bench` emits are
-/// present on every point and ordered (`p50_ns <= p99_ns <= max_ns`).
-fn bench_check_main(args: &[String]) {
-    let [path] = args else { usage() };
+/// Loads a `BENCH_sim.json`-shaped document and returns its points
+/// array, exiting with a diagnostic on any structural problem.
+fn load_bench_points(path: &str) -> Vec<obs::json::Value> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
@@ -471,24 +476,56 @@ fn bench_check_main(args: &[String]) {
         .unwrap_or_else(|| {
             eprintln!("{path}: missing \"points\" array");
             std::process::exit(1);
-        });
+        })
+        .to_vec();
     if points.is_empty() {
         eprintln!("{path}: empty \"points\" array");
         std::process::exit(1);
     }
+    points
+}
+
+fn point_field(path: &str, p: &obs::json::Value, i: usize, name: &str, key: &str) -> f64 {
+    p.get(key)
+        .and_then(obs::json::Value::as_num)
+        .unwrap_or_else(|| {
+            eprintln!("{path}: point {i} ({name}): missing numeric \"{key}\"");
+            std::process::exit(1);
+        })
+}
+
+/// Asserts the latency-distribution fields `simctl bench` emits are
+/// present on every point and ordered (`p50_ns <= p99_ns <= max_ns`).
+/// With `against=COMMITTED.json`, additionally acts as the performance
+/// gate: every point present in both documents must sustain at least
+/// `(1 - max-regress/100)` of the committed `sim_ops_per_sec`.
+fn bench_check_main(args: &[String]) {
+    let Some((path, rest)) = args.split_first() else {
+        usage()
+    };
+    let mut against: Option<String> = None;
+    let mut max_regress = 15.0f64;
+    for kv in rest {
+        let Some((k, v)) = kv.split_once('=') else {
+            eprintln!("expected key=value, got `{kv}`");
+            usage();
+        };
+        match k {
+            "against" => against = Some(v.to_string()),
+            "max-regress" => max_regress = v.parse().unwrap_or_else(|_| usage()),
+            other => {
+                eprintln!("unknown key `{other}`");
+                usage();
+            }
+        }
+    }
+    let points = load_bench_points(path);
     for (i, p) in points.iter().enumerate() {
         let name = p
             .get("name")
             .and_then(obs::json::Value::as_str)
             .unwrap_or("?");
-        let field = |key: &str| {
-            p.get(key)
-                .and_then(obs::json::Value::as_num)
-                .unwrap_or_else(|| {
-                    eprintln!("{path}: point {i} ({name}): missing numeric \"{key}\"");
-                    std::process::exit(1);
-                })
-        };
+        let field = |key: &str| point_field(path, p, i, name, key);
         let (p50, p99, max) = (field("p50_ns"), field("p99_ns"), field("max_ns"));
         if !(p50 <= p99 && p99 <= max) {
             eprintln!(
@@ -502,6 +539,41 @@ fn bench_check_main(args: &[String]) {
         "{path}: ok — {} point(s), p50_ns <= p99_ns <= max_ns on all",
         points.len()
     );
+    let Some(against) = against else { return };
+    let committed = load_bench_points(&against);
+    let floor = 1.0 - max_regress / 100.0;
+    let mut compared = 0usize;
+    for (i, p) in points.iter().enumerate() {
+        let name = p
+            .get("name")
+            .and_then(obs::json::Value::as_str)
+            .unwrap_or("?");
+        let Some(b) = committed
+            .iter()
+            .find(|b| b.get("name").and_then(obs::json::Value::as_str) == Some(name))
+        else {
+            continue;
+        };
+        let fresh = point_field(path, p, i, name, "sim_ops_per_sec");
+        let base = point_field(&against, b, i, name, "sim_ops_per_sec");
+        compared += 1;
+        if fresh < base * floor {
+            eprintln!(
+                "{path}: point {name}: sim_ops_per_sec {fresh:.0} is more than \
+                 {max_regress}% below committed {base:.0} ({against})"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "{name}: {fresh:.0} vs committed {base:.0} ({:+.1}%)",
+            (fresh / base - 1.0) * 100.0
+        );
+    }
+    if compared == 0 {
+        eprintln!("{path}: no point names match {against}; nothing gated");
+        std::process::exit(1);
+    }
+    println!("perf gate: ok — {compared} point(s) within {max_regress}% of {against}");
 }
 
 fn main() {
