@@ -380,6 +380,18 @@ pub fn trace_workload(kind: QueueKind, w: &Workload, backend: BackendKind) -> Tr
     }
 }
 
+/// A closed-loop reference point for the open-loop load layer's sanity
+/// checks: `threads` producers enqueue `ops` each as fast as the queue
+/// lets them, machine jitter off so the run is deterministic. At zero
+/// overload an open-loop source's enqueue-op latency should sit near
+/// this run's `p50_ns` — the queue cannot tell paced arrivals from a
+/// momentarily idle closed loop.
+pub fn closed_loop_reference(kind: QueueKind, threads: usize, ops: u64) -> Measurement {
+    let mut w = paper_workload(WorkloadKind::ProducerOnly, threads, ops);
+    w.machine.delay_jitter_pct = 0;
+    run_workload(kind, &w)
+}
+
 /// Runs `w` on the simulator with a statically chosen queue type (for
 /// ablation drivers comparing non-[`QueueKind`] variants).
 pub fn run_generic<Q: QueueAdapter<coherence::SimCtx> + 'static>(w: &Workload) -> Measurement {

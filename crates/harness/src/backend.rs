@@ -149,6 +149,10 @@ pub enum BackendKind {
 }
 
 impl BackendKind {
+    /// Both backends, in sim-first order (the order dual-backend suites
+    /// iterate in).
+    pub const ALL: [BackendKind; 2] = [BackendKind::Sim, BackendKind::Native];
+
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Sim => "sim",

@@ -1,0 +1,162 @@
+//! Saturation-knee detection over a measured offered-load curve.
+//!
+//! A load sweep produces one probe per offered rate, in ascending rate
+//! order. The **knee** is the first probe where the service stops
+//! meeting its SLO: either the end-to-end p99 exceeds the latency
+//! budget, or the ingress queue depth diverged (grew past the depth
+//! budget, the open-loop signature of offered load exceeding service
+//! capacity — depth at or past the budget can only keep growing). The
+//! finder is first-crossing, not best-fit: on a noisy curve the
+//! earliest violation wins, because an operator cares about the lowest
+//! rate at which the SLO was ever broken.
+
+/// One offered-load point's knee-relevant measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KneeProbe {
+    /// Offered load, requests/sec (probes must be in ascending order).
+    pub offered_rps: u64,
+    /// Measured end-to-end p99 latency, ns.
+    pub p99_ns: f64,
+    /// Whether the point's peak queue depth exceeded the depth budget.
+    pub diverged: bool,
+}
+
+/// Why a probe was declared the knee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KneeReason {
+    /// End-to-end p99 exceeded the latency SLO.
+    SloExceeded,
+    /// Queue depth exceeded the divergence budget.
+    DepthDiverged,
+}
+
+impl KneeReason {
+    /// Stable token used in TSV/JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            KneeReason::SloExceeded => "slo-exceeded",
+            KneeReason::DepthDiverged => "depth-diverged",
+        }
+    }
+}
+
+/// A detected saturation knee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Knee {
+    /// Index of the first violating probe.
+    pub index: usize,
+    /// Its offered load, requests/sec.
+    pub offered_rps: u64,
+    pub reason: KneeReason,
+}
+
+/// Finds the first probe violating the SLO, or `None` when the whole
+/// curve is healthy. `slo_p99_ns <= 0` disables the latency criterion
+/// (depth divergence still counts), so purely throughput-oriented
+/// sweeps can use the same finder. Depth divergence outranks the
+/// latency check on a probe that trips both, since an unbounded queue
+/// makes any latency figure for that point transient.
+pub fn find_knee(probes: &[KneeProbe], slo_p99_ns: f64) -> Option<Knee> {
+    for (index, p) in probes.iter().enumerate() {
+        let reason = if p.diverged {
+            Some(KneeReason::DepthDiverged)
+        } else if slo_p99_ns > 0.0 && p.p99_ns > slo_p99_ns {
+            Some(KneeReason::SloExceeded)
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            return Some(Knee {
+                index,
+                offered_rps: p.offered_rps,
+                reason,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(rps: u64, p99: f64) -> KneeProbe {
+        KneeProbe {
+            offered_rps: rps,
+            p99_ns: p99,
+            diverged: false,
+        }
+    }
+
+    #[test]
+    fn exact_knee_on_step_curve() {
+        // Flat at 1 µs, steps to 100 µs at 800k rps.
+        let probes = [
+            probe(200_000, 1_000.0),
+            probe(400_000, 1_000.0),
+            probe(600_000, 1_100.0),
+            probe(800_000, 100_000.0),
+            probe(1_000_000, 400_000.0),
+        ];
+        let k = find_knee(&probes, 50_000.0).expect("step curve has a knee");
+        assert_eq!(k.index, 3);
+        assert_eq!(k.offered_rps, 800_000);
+        assert_eq!(k.reason, KneeReason::SloExceeded);
+    }
+
+    #[test]
+    fn healthy_curve_has_no_knee() {
+        let probes = [
+            probe(200_000, 1_000.0),
+            probe(400_000, 1_200.0),
+            probe(600_000, 1_500.0),
+        ];
+        assert_eq!(find_knee(&probes, 50_000.0), None);
+        // A violation exactly at the SLO is still healthy (strict >).
+        assert_eq!(find_knee(&[probe(100, 50_000.0)], 50_000.0), None);
+    }
+
+    #[test]
+    fn first_crossing_wins_on_noisy_curve() {
+        // Noise dips back under the SLO after the first violation; the
+        // finder must still report the *first* crossing.
+        let probes = [
+            probe(100, 10.0),
+            probe(200, 60.0), // first violation
+            probe(300, 40.0), // noise dip
+            probe(400, 90.0),
+        ];
+        let k = find_knee(&probes, 50.0).unwrap();
+        assert_eq!(k.index, 1);
+        assert_eq!(k.offered_rps, 200);
+    }
+
+    #[test]
+    fn depth_divergence_trips_without_latency_slo() {
+        let mut p = probe(500, 10.0);
+        p.diverged = true;
+        let k = find_knee(&[probe(100, 5.0), p], 0.0).unwrap();
+        assert_eq!(k.index, 1);
+        assert_eq!(k.reason, KneeReason::DepthDiverged);
+        // SLO disabled: high p99 alone is not a knee.
+        assert_eq!(find_knee(&[probe(100, 1e12)], 0.0), None);
+    }
+
+    #[test]
+    fn divergence_outranks_latency_on_same_probe() {
+        let p = KneeProbe {
+            offered_rps: 900,
+            p99_ns: 1e9,
+            diverged: true,
+        };
+        assert_eq!(
+            find_knee(&[p], 1.0).unwrap().reason,
+            KneeReason::DepthDiverged
+        );
+    }
+
+    #[test]
+    fn empty_curve_has_no_knee() {
+        assert_eq!(find_knee(&[], 1.0), None);
+    }
+}

@@ -23,6 +23,9 @@ pub enum SpanKind {
     /// A generic measured operation (workload phases, setup); payload
     /// free.
     Op,
+    /// A load-generator worker servicing one request (dequeue-to-forward
+    /// interval); payload = request id.
+    Service,
 }
 
 impl SpanKind {
@@ -34,6 +37,7 @@ impl SpanKind {
             SpanKind::DequeueEmpty => "dequeue-empty",
             SpanKind::Drain => "drain-dequeue",
             SpanKind::Op => "op",
+            SpanKind::Service => "service",
         }
     }
 }
@@ -57,6 +61,10 @@ pub enum InstantKind {
     /// An experiment-runner worker claimed a job from the pool; payload =
     /// the job's submission index.
     JobClaim,
+    /// A load-generator request's *scheduled* open-loop arrival instant
+    /// (which may precede the actual ingress enqueue when the source has
+    /// fallen behind); payload = request id.
+    Arrival,
 }
 
 impl InstantKind {
@@ -70,6 +78,7 @@ impl InstantKind {
             InstantKind::Barrier => "barrier",
             InstantKind::SchedYield => "sched-yield",
             InstantKind::JobClaim => "job-claim",
+            InstantKind::Arrival => "arrival",
         }
     }
 }
@@ -126,6 +135,7 @@ mod tests {
             SpanKind::DequeueEmpty,
             SpanKind::Drain,
             SpanKind::Op,
+            SpanKind::Service,
         ];
         let mut seen = std::collections::HashSet::new();
         for s in spans {
@@ -139,6 +149,7 @@ mod tests {
             InstantKind::Barrier,
             InstantKind::SchedYield,
             InstantKind::JobClaim,
+            InstantKind::Arrival,
         ];
         for i in instants {
             assert!(seen.insert(i.name()));

@@ -80,7 +80,7 @@ impl ThreadObs {
             SpanKind::Dequeue | SpanKind::DequeueEmpty | SpanKind::Drain => {
                 self.deq_hist.record(lat)
             }
-            SpanKind::Op => {}
+            SpanKind::Op | SpanKind::Service => {}
         }
         self.push(ObsEvent::Span {
             kind,

@@ -97,16 +97,77 @@
 //! if the artifact no longer reproduces its recorded violation kind.
 //! Each shrunk failure also gets a `<artifact>.trace` Chrome trace of
 //! the violating run, written beside the `.repro`.
+//!
+//! `simctl load <queue> [key=value ...]` runs an open-loop load sweep
+//! (see [`loadgen`]): seeded arrivals flow through ingress → worker
+//! pool → egress with both stage boundaries backed by the chosen queue,
+//! one run per offered rate, and the saturation knee (first point whose
+//! e2e p99 exceeds the SLO or whose ingress depth diverges) is
+//! detected. The curve prints as TSV; `out=` also writes the
+//! `sbq-loadgen-v1` JSON document. Keys:
+//!
+//! ```text
+//! backend  sim (default) or native
+//! pattern  poisson | bursty:ON:OFF | diurnal:LOW:HIGH:PERIOD   default poisson
+//! rate     one offered rate, rps (repeatable)
+//! rates    comma-separated rate ladder, rps
+//!          (no rate/rates: auto ladder at capacity × 1/4..2)
+//! requests total requests per point           default 256
+//! sources / workers / egress   stage threads  default 1 / 2 / 1
+//! service  mean service time, cycles          default 1500
+//! jitter   per-request service jitter, %      default 0
+//! poll     empty-poll back-off, cycles        default 200
+//! seed     arrival/jitter seed                default 0x10ad
+//! slo-p99  e2e p99 SLO, ns (0 disables)       default 0
+//! depth-slo ingress depth budget (0 = auto requests/4, min 16)
+//! jobs     rate points in parallel; 0 = auto  default 1
+//! out      write the JSON document here (optional)
+//! tsv-out  also write the TSV here (optional)
+//! ```
+//!
+//! On the simulator the TSV/JSON output is a pure function of the plan:
+//! byte-identical across repeats and across `jobs` values (neither job
+//! count nor wall-clock time appears in the artifact). `simctl
+//! load-check <file.json>` validates such a document: schema tag,
+//! ordered percentiles per point, full completion, and a knee that
+//! points at an actual probed rate (exit 1 on violation).
 
 use bench::workload::{
     paper_workload, run_workload, run_workload_native, trace_workload, Workload, WorkloadKind,
 };
 use harness::{BackendKind, QueueKind, QueueParams};
+use loadgen::{ArrivalPattern, LoadPlan, SweepSpec};
+
+const HELP: &str = "simctl — run queue experiments from the command line
+
+usage:
+  simctl <queue> <workload> <threads> [key=value ...]
+      one closed-loop workload point (queues: sbq-htm sbq-cas sbq-striped
+      bq wf cc ms; workloads: producer consumer mixed; keys: ops backend
+      hop hop-cross delay basket fix seed)
+  simctl trace <queue> <workload> <threads> [key=value ...] [out=PATH] [tsv-out=PATH]
+      one observed run exported as a Chrome trace-event JSON document
+  simctl trace-validate <file.json>
+      re-validate an exported trace document (exit 1 if invalid)
+  simctl bench [scale= reps= label= out= tsv-out= baseline= baseline-label= native= jobs= runner-trace=]
+      wall-clock scheduler benchmark; writes BENCH_sim.json
+  simctl bench-check <file.json> [against=COMMITTED.json] [max-regress=PCT]
+      validate a bench document; with against=, gate on perf regressions
+  simctl fuzz [--seeds N] [--start N] [--queue K] [--backend sim|native] [--artifacts DIR] [--jobs N] [--runner-trace FILE] [--repro FILE]
+      randomized linearizability fuzzing with shrinking + replay artifacts
+  simctl load <queue> [key=value ...]
+      open-loop load sweep with knee detection (keys: backend pattern
+      rate rates requests sources workers egress service jitter poll seed
+      slo-p99 depth-slo jobs out tsv-out)
+  simctl load-check <file.json>
+      validate an sbq-loadgen-v1 document (exit 1 if invalid)
+  simctl help | --help | -h
+      this text
+
+See the module docs in src/bin/simctl.rs for every key's meaning.";
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: simctl <sbq-htm|sbq-cas|bq|wf|cc|ms> <producer|consumer|mixed> <threads> [key=value ...]\n       simctl trace <queue> <workload> <threads> [key=value ...] [out=PATH] [tsv-out=PATH]\n       simctl trace-validate <file.json>\n       simctl bench [scale=N] [reps=N] [label=S] [out=PATH] [tsv-out=PATH] [baseline=PATH] [baseline-label=S] [native=0|1] [jobs=N] [runner-trace=PATH]\n       simctl bench-check <file.json> [against=COMMITTED.json] [max-regress=PCT]\n       simctl fuzz [--seeds N] [--start N] [--queue K] [--backend sim|native] [--artifacts DIR] [--jobs N] [--runner-trace FILE] [--repro FILE]"
-    );
+    eprintln!("{HELP}");
     std::process::exit(2);
 }
 
@@ -576,6 +637,237 @@ fn bench_check_main(args: &[String]) {
     println!("perf gate: ok — {compared} point(s) within {max_regress}% of {against}");
 }
 
+/// Parses the `pattern=` token: `poisson`, `bursty:ON:OFF`, or
+/// `diurnal:LOW:HIGH:PERIOD`.
+fn parse_pattern(v: &str) -> Option<ArrivalPattern> {
+    let mut parts = v.split(':');
+    let head = parts.next()?;
+    let mut num = || parts.next()?.parse::<u64>().ok();
+    let pattern = match head {
+        "poisson" => ArrivalPattern::Poisson,
+        "bursty" => ArrivalPattern::Bursty {
+            on_cycles: num()?,
+            off_cycles: num()?,
+        },
+        "diurnal" => ArrivalPattern::Diurnal {
+            low_permille: num()?,
+            high_permille: num()?,
+            period_cycles: num()?,
+        },
+        _ => return None,
+    };
+    match parts.next() {
+        Some(_) => None, // trailing junk
+        None => Some(pattern),
+    }
+}
+
+fn load_main(args: &[String]) {
+    let Some((queue_arg, rest)) = args.split_first() else {
+        usage()
+    };
+    let Some(queue) = QueueKind::parse(queue_arg) else {
+        eprintln!("unknown queue `{queue_arg}`");
+        usage();
+    };
+    let mut plan = LoadPlan::default();
+    let mut backend = BackendKind::Sim;
+    let mut rates: Vec<u64> = Vec::new();
+    let mut slo_p99_ns = 0.0f64;
+    let mut depth_slo = 0u64;
+    let mut jobs = 1usize;
+    let mut out: Option<String> = None;
+    let mut tsv_out: Option<String> = None;
+    for kv in rest {
+        let Some((k, v)) = kv.split_once('=') else {
+            eprintln!("expected key=value, got `{kv}`");
+            usage();
+        };
+        match k {
+            "backend" => {
+                backend = BackendKind::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown backend `{v}`");
+                    usage();
+                })
+            }
+            "pattern" => {
+                plan.pattern = parse_pattern(v).unwrap_or_else(|| {
+                    eprintln!(
+                        "bad pattern `{v}` (want poisson, bursty:ON:OFF, \
+                         or diurnal:LOW:HIGH:PERIOD)"
+                    );
+                    usage();
+                })
+            }
+            "rate" => rates.push(v.parse().unwrap_or_else(|_| usage())),
+            "rates" => {
+                for r in v.split(',') {
+                    rates.push(r.trim().parse().unwrap_or_else(|_| usage()));
+                }
+            }
+            "requests" => plan.requests = v.parse().unwrap_or_else(|_| usage()),
+            "sources" => plan.sources = v.parse().unwrap_or_else(|_| usage()),
+            "workers" => plan.workers = v.parse().unwrap_or_else(|_| usage()),
+            "egress" => plan.egress = v.parse().unwrap_or_else(|_| usage()),
+            "service" => plan.service_cycles = v.parse().unwrap_or_else(|_| usage()),
+            "jitter" => plan.service_jitter_pct = v.parse().unwrap_or_else(|_| usage()),
+            "poll" => plan.poll_cycles = v.parse().unwrap_or_else(|_| usage()),
+            "seed" => plan.seed = v.parse().unwrap_or_else(|_| usage()),
+            "slo-p99" => slo_p99_ns = v.parse().unwrap_or_else(|_| usage()),
+            "depth-slo" => depth_slo = v.parse().unwrap_or_else(|_| usage()),
+            "jobs" => jobs = v.parse().unwrap_or_else(|_| usage()),
+            "out" => out = Some(v.to_string()),
+            "tsv-out" => tsv_out = Some(v.to_string()),
+            other => {
+                eprintln!("unknown key `{other}`");
+                usage();
+            }
+        }
+    }
+    if let Err(e) = plan.validate() {
+        eprintln!("invalid plan: {e}");
+        usage();
+    }
+    if rates.is_empty() {
+        rates = loadgen::default_rates(&plan);
+    }
+    let jobs = if jobs == 0 {
+        runner::default_jobs()
+    } else {
+        jobs
+    };
+    let spec = SweepSpec {
+        plan,
+        queue,
+        backend,
+        rates,
+        slo_p99_ns,
+        depth_slo,
+        jobs,
+    };
+    let r = loadgen::run_sweep(&spec);
+    print!("{}", loadgen::to_tsv(&r));
+    match &r.knee {
+        Some(k) => eprintln!(
+            "knee: {} at {} rps ({}) — point {}/{}",
+            k.reason.name(),
+            k.offered_rps,
+            spec.queue.name(),
+            k.index + 1,
+            r.points.len()
+        ),
+        None => eprintln!(
+            "knee: none — {} healthy up to {} rps",
+            spec.queue.name(),
+            r.points.last().map_or(0, |p| p.offered_rps)
+        ),
+    }
+    if let Some(path) = tsv_out {
+        std::fs::write(&path, loadgen::to_tsv(&r))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+    if let Some(path) = out {
+        std::fs::write(&path, loadgen::to_json(&r))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Validates an `sbq-loadgen-v1` document: schema tag, non-empty points
+/// with ordered e2e percentiles and full completion, and a knee (when
+/// present) that references an actually probed rate.
+fn load_check_main(args: &[String]) {
+    let [path] = args else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: not JSON — {e}");
+        std::process::exit(1);
+    });
+    let fail = |msg: String| -> ! {
+        eprintln!("{path}: INVALID — {msg}");
+        std::process::exit(1);
+    };
+    match doc.get("schema").and_then(obs::json::Value::as_str) {
+        Some("sbq-loadgen-v1") => {}
+        other => fail(format!("schema {other:?}, expected \"sbq-loadgen-v1\"")),
+    }
+    let requests = doc
+        .get("requests")
+        .and_then(obs::json::Value::as_num)
+        .unwrap_or_else(|| fail("missing numeric \"requests\"".into()));
+    let points = doc
+        .get("points")
+        .and_then(obs::json::Value::as_arr)
+        .unwrap_or_else(|| fail("missing \"points\" array".into()));
+    if points.is_empty() {
+        fail("empty \"points\" array".into());
+    }
+    let mut rates = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let field = |key: &str| {
+            p.get(key)
+                .and_then(obs::json::Value::as_num)
+                .unwrap_or_else(|| fail(format!("point {i}: missing numeric \"{key}\"")))
+        };
+        let (p50, p99, p999, max) = (
+            field("e2e_p50_ns"),
+            field("e2e_p99_ns"),
+            field("e2e_p999_ns"),
+            field("e2e_max_ns"),
+        );
+        if !(p50 <= p99 && p99 <= p999 && p999 <= max) {
+            fail(format!(
+                "point {i}: e2e percentiles out of order: \
+                 p50={p50} p99={p99} p999={p999} max={max}"
+            ));
+        }
+        if field("completed") != requests {
+            fail(format!(
+                "point {i}: completed {} != requests {requests} (open loop must drain fully)",
+                field("completed")
+            ));
+        }
+        rates.push(field("offered_rps"));
+    }
+    if rates.windows(2).any(|w| w[0] >= w[1]) {
+        fail("offered_rps not strictly ascending".into());
+    }
+    match doc.get("knee") {
+        Some(obs::json::Value::Null) => {}
+        Some(k) => {
+            let rate = k
+                .get("offered_rps")
+                .and_then(obs::json::Value::as_num)
+                .unwrap_or_else(|| fail("knee: missing numeric \"offered_rps\"".into()));
+            if !rates.contains(&rate) {
+                fail(format!("knee rate {rate} is not a probed point"));
+            }
+            match k.get("reason").and_then(obs::json::Value::as_str) {
+                Some("slo-exceeded") | Some("depth-diverged") => {}
+                other => fail(format!("knee: bad reason {other:?}")),
+            }
+        }
+        None => fail("missing \"knee\" (must be an object or null)".into()),
+    }
+    println!(
+        "{path}: ok — {} point(s), ordered percentiles, fully drained, knee {}",
+        points.len(),
+        match doc.get("knee") {
+            Some(obs::json::Value::Null) => "none".to_string(),
+            Some(k) => format!(
+                "at {} rps",
+                k.get("offered_rps")
+                    .and_then(obs::json::Value::as_num)
+                    .unwrap_or(0.0)
+            ),
+            None => unreachable!(),
+        }
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -584,6 +876,12 @@ fn main() {
         Some("fuzz") => return fuzz_main(&args[1..]),
         Some("trace") => return trace_main(&args[1..]),
         Some("trace-validate") => return trace_validate_main(&args[1..]),
+        Some("load") => return load_main(&args[1..]),
+        Some("load-check") => return load_check_main(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{HELP}");
+            return;
+        }
         _ => {}
     }
     let spec = parse_run_spec(&args, |_, _| false);
