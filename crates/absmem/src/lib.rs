@@ -77,6 +77,14 @@ pub trait ThreadCtx {
     /// `NativeHeap::ctx` handle is not). Do not mix barriers with threads
     /// that finish before reaching them.
     fn barrier(&mut self);
+
+    /// Blocks until the backend's tick source releases this thread's next
+    /// tick — on the simulator, a `TickGate` component paces the calling
+    /// core (timer-driven consumers, DMA-style bulk producers). Backends
+    /// without a tick source return immediately (the default), so paced
+    /// programs stay portable: pacing is a scheduling constraint, never a
+    /// correctness dependency.
+    fn wait_tick(&mut self) {}
 }
 
 /// How a queue's contended tail CAS is performed. The paper evaluates three

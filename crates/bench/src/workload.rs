@@ -65,6 +65,11 @@ pub struct Measurement {
     /// simulator only; zero on native).
     pub tx_commits: u64,
     pub tx_aborts: u64,
+    /// Aborts caused by an interrupt/preemption component and total
+    /// interrupts it delivered (zero on native and in component-free
+    /// simulator configs).
+    pub tx_aborts_interrupt: u64,
+    pub interrupts_fired: u64,
     pub tripped_writers: u64,
     /// Per-op latency distribution of the measured phase, ns: median,
     /// tail, and exact worst case from the merged per-thread histograms
@@ -241,6 +246,11 @@ where
         duration_ns_per_op: coherence::cycles_to_ns(duration) / total_ops as f64,
         tx_commits: report.tx_commits(),
         tx_aborts: report.tx_aborts(),
+        tx_aborts_interrupt: report
+            .sim
+            .as_ref()
+            .map_or(0, |r| r.stats.tx_aborts_interrupt),
+        interrupts_fired: report.sim.as_ref().map_or(0, |r| r.stats.interrupts_fired),
         tripped_writers: report.tripped_writers(),
         p50_ns: coherence::cycles_to_ns(hist.p50()),
         p99_ns: coherence::cycles_to_ns(hist.p99()),

@@ -18,6 +18,58 @@ pub fn ns_to_cycles(ns: f64) -> u64 {
     (ns * GHZ).round() as u64
 }
 
+/// Declarative description of one non-core actor on the machine's
+/// discrete-event component spine (built into a live
+/// `coherence::component::Component` by `Sim::new`). All fields are plain
+/// integers so specs round-trip exactly through text plans and fuzz
+/// artifacts; an empty spec list leaves the simulator byte-identical to
+/// the pre-component machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComponentSpec {
+    /// A periodic preemption/interrupt source. Every `period` cycles
+    /// (first firing at `start`) it interrupts one core: a victim inside a
+    /// hardware transaction takes a `txn::INTERRUPT` abort and resumes
+    /// `cost` cycles later (the handler runs before the abort is
+    /// delivered). `victim` pins a single core; `None` round-robins over
+    /// all application cores.
+    Interrupt {
+        /// Cycles between firings; must be nonzero.
+        period: u64,
+        /// Absolute time of the first firing.
+        start: u64,
+        /// Handler cost charged to an aborted victim, cycles.
+        cost: u64,
+        /// Pinned victim core, or `None` for round-robin.
+        victim: Option<usize>,
+    },
+    /// A periodic tick gate pacing one core: every `period` cycles (first
+    /// firing at `start`) it releases that core's `wait_tick()`, or banks
+    /// the tick if the core is not waiting yet. Drives timer-paced
+    /// consumers and DMA-style bulk producers. `count` bounds the number
+    /// of firings; 0 means unlimited.
+    TickGate {
+        /// The paced application core.
+        core: usize,
+        /// Cycles between firings; must be nonzero.
+        period: u64,
+        /// Absolute time of the first firing.
+        start: u64,
+        /// Number of firings, 0 = unlimited.
+        count: u64,
+    },
+    /// A benign no-op actor that ticks every `period` cycles and does
+    /// nothing — it exists to prove that merely *scheduling* components
+    /// never perturbs a run (the cross-scheduler differential suite
+    /// attaches one and demands byte-identical reports). `count` bounds
+    /// the number of ticks; 0 = unlimited.
+    Heartbeat {
+        /// Cycles between ticks; must be nonzero.
+        period: u64,
+        /// Number of ticks, 0 = unlimited.
+        count: u64,
+    },
+}
+
 /// Full machine configuration.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -123,6 +175,12 @@ pub struct MachineConfig {
     /// Verify protocol invariants (single-writer/multi-reader, dir/cache
     /// agreement) after every event. On by default in debug builds.
     pub check_invariants: bool,
+    /// Non-core actors to place on the component spine (interrupt
+    /// sources, tick gates, heartbeats — see [`ComponentSpec`]). Empty by
+    /// default: with no components configured the event stream, and hence
+    /// every determinism golden, is byte-identical to the pre-component
+    /// simulator.
+    pub components: Vec<ComponentSpec>,
 }
 
 impl Default for MachineConfig {
@@ -152,6 +210,7 @@ impl Default for MachineConfig {
             os_thread_scheduler: false,
             trace: false,
             check_invariants: cfg!(debug_assertions),
+            components: Vec::new(),
         }
     }
 }

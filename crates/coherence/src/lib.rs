@@ -55,6 +55,7 @@
 //! assert_eq!(report.stats.op("faa"), 400);
 //! ```
 
+pub mod component;
 pub mod config;
 #[cfg(target_arch = "x86_64")]
 pub mod fiber;
@@ -65,7 +66,9 @@ pub mod sim;
 pub mod stats;
 pub mod txn;
 
-pub use config::{cycles_to_ns, ns_to_cycles, MachineConfig, GHZ};
+pub use component::Component;
+pub use config::{cycles_to_ns, ns_to_cycles, ComponentSpec, MachineConfig, GHZ};
 pub use machine::{Machine, Program, SimCtx};
+pub use sim::CompCtx;
 pub use stats::{RunReport, Stats, TraceEvent};
 pub use txn::{Abort, TxResult};

@@ -279,7 +279,11 @@ fn drive(eng: &Engine, me: usize) -> DriveOut {
             return DriveOut::Handoff;
         }
         let progressed = st.sim.step();
-        assert!(progressed, "deadlock: live threads but no events");
+        assert!(
+            progressed,
+            "deadlock: live threads but no events;{}",
+            st.sim.stuck_report()
+        );
         st.pending.extend(st.sim.resumes.drain(..));
     }
 }
@@ -615,7 +619,11 @@ impl FiberPump {
                 return;
             }
             let progressed = self.sim.step();
-            assert!(progressed, "deadlock: live threads but no events");
+            assert!(
+                progressed,
+                "deadlock: live threads but no events;{}",
+                self.sim.stuck_report()
+            );
             self.pending.extend(self.sim.resumes.drain(..));
         }
     }
@@ -727,6 +735,16 @@ impl SimCtx {
         self.fallible(OpKind::Delay(cycles)).map(|_| ())
     }
 
+    /// Blocks until a `TickGate` component (see
+    /// `MachineConfig::components`) releases this core's next tick, or
+    /// consumes a banked release immediately. The pacing primitive for
+    /// timer-driven consumers and DMA-style bulk producers. Not allowed
+    /// inside a transaction; a run that waits with no gate firings left
+    /// fails the deadlock assertion with a hint rather than hanging.
+    pub fn wait_tick(&mut self) {
+        self.infallible(OpKind::WaitTick);
+    }
+
     /// True while inside a transaction? Not exposed: programs track their
     /// own nesting via the `htm` combinators.
     #[doc(hidden)]
@@ -807,6 +825,10 @@ impl absmem::ThreadCtx for SimCtx {
 
     fn barrier(&mut self) {
         SimCtx::barrier(self)
+    }
+
+    fn wait_tick(&mut self) {
+        SimCtx::wait_tick(self)
     }
 }
 
@@ -1049,7 +1071,11 @@ fn run_phase(eng: &Engine, initial: std::ops::Range<usize>) {
             break false;
         }
         let progressed = st.sim.step();
-        assert!(progressed, "deadlock: live threads but no events");
+        assert!(
+            progressed,
+            "deadlock: live threads but no events;{}",
+            st.sim.stuck_report()
+        );
         st.pending.extend(st.sim.resumes.drain(..));
     };
     if handed_off {

@@ -46,7 +46,8 @@
 //! the full protocol, which remains available as the semantic reference
 //! via `MachineConfig::fast_path = false`.
 
-use crate::config::MachineConfig;
+use crate::component::{self, Component};
+use crate::config::{ComponentSpec, MachineConfig};
 use crate::fxhash::FxHashMap;
 use crate::msg::{Msg, Node};
 use crate::stats::{Stats, TraceEvent};
@@ -289,6 +290,9 @@ enum OpState {
     PendingWait,
     /// An RMW is executing (`RmwDone` scheduled).
     RmwExec,
+    /// Blocked in `wait_tick()` until a `TickGate` component releases
+    /// this core. Not permitted inside a transaction.
+    TickWait,
 }
 
 /// One core's private cache controller plus HTM state. Per-line state is
@@ -334,6 +338,10 @@ struct Cache {
     /// Abort detected while the thread's next op sat in the inbox; reported
     /// when that op issues.
     pending_abort: Option<u32>,
+    /// Tick-gate releases that arrived while this core was *not* blocked
+    /// in `wait_tick()`; the next `wait_tick()` consumes one immediately.
+    /// Banking absorbs gate/consumer phase drift without losing ticks.
+    ticks_banked: u64,
     /// Generation counter for cancellable wakeups (delays, RMW end).
     gen: u64,
     op_state: OpState,
@@ -356,6 +364,7 @@ impl Cache {
             txn: None,
             txn_spare: None,
             pending_abort: None,
+            ticks_banked: 0,
             gen: 0,
             op_state: OpState::Idle,
             socket,
@@ -531,6 +540,10 @@ enum Event {
         line: LineId,
         waiter: Waiter,
     },
+    /// Component `comp`'s scheduled tick is due (see
+    /// [`crate::component`]). Never pushed when no components are
+    /// configured, so the component-free event stream is unchanged.
+    CompTick { comp: u32 },
 }
 
 struct HeapItem {
@@ -689,6 +702,15 @@ impl EventQ {
 
     #[inline]
     fn push(&mut self, clock: u64, time: u64, seq: u64, ev: Event) {
+        // A past-time push would underflow `time - clock` below and land
+        // the event in a wheel slot up to WHEEL cycles in the future (or
+        // the overflow heap), silently corrupting the (time, seq) order.
+        // Fail loudly instead.
+        debug_assert!(
+            time >= clock,
+            "EventQ::push: event time {time} is before the clock {clock} \
+             (events must never be scheduled in the past)"
+        );
         self.len += 1;
         if time - clock < WHEEL {
             let _ = seq; // implicit in FIFO position within the horizon
@@ -748,6 +770,16 @@ impl EventQ {
         // overflow events into the wheel before anything can push at
         // those times.
         while let Some(top) = self.far.peek() {
+            // Every overflow event was beyond the horizon of the clock at
+            // its push, so it can never be older than the event being
+            // popped; if this ever fails, a past-time push slipped
+            // through and the `top.time - time` below would underflow.
+            debug_assert!(
+                top.time >= time,
+                "EventQ::pop: overflow-heap event at {} is older than the popped event at {time} \
+                 (a past-horizon push corrupted the queue order)",
+                top.time
+            );
             if top.time - time >= WHEEL {
                 break;
             }
@@ -797,6 +829,9 @@ pub enum OpKind {
     TxBegin,
     TxEnd,
     TxAbort(u8),
+    /// Block until a `TickGate` component releases this core (or consume
+    /// a banked release immediately). Not permitted inside a transaction.
+    WaitTick,
 }
 
 impl OpKind {
@@ -812,6 +847,7 @@ impl OpKind {
             OpKind::TxBegin => 6,
             OpKind::TxEnd => 7,
             OpKind::TxAbort(..) => 8,
+            OpKind::WaitTick => 9,
         }
     }
 }
@@ -832,6 +868,82 @@ pub struct Resume {
     pub core: usize,
     pub time: u64,
     pub outcome: OpOutcome,
+}
+
+/// The deterministic machine surface a [`crate::component::Component`]
+/// sees during its tick. Deliberately narrow: no RNG, no direct cache or
+/// directory mutation — everything a component can do is expressible as
+/// the existing abort/resume machinery, so attaching components never
+/// perturbs state they did not explicitly act on.
+pub struct CompCtx<'a> {
+    sim: &'a mut Sim,
+    /// The ticking component's spine index (for trace attribution).
+    comp: usize,
+    /// The ticking component's stable name.
+    name: &'static str,
+}
+
+impl CompCtx<'_> {
+    /// Current simulated time, cycles.
+    pub fn now(&self) -> u64 {
+        self.sim.clock
+    }
+
+    /// Number of application cores (excluding the bootstrap core).
+    pub fn cores(&self) -> usize {
+        self.sim.cfg.cores
+    }
+
+    /// True if `core`'s thread is inside a hardware transaction.
+    pub fn in_txn(&self, core: usize) -> bool {
+        self.sim.caches[core].in_txn()
+    }
+
+    /// Fires an interrupt at `core`. A victim inside a transaction takes
+    /// a `txn::INTERRUPT` abort and resumes `cost` cycles later (the
+    /// handler runs before the abort is delivered); a victim outside one
+    /// absorbs the handler with no engine-visible effect (its timing is
+    /// dominated by whatever protocol event it is blocked on). Returns
+    /// whether a transaction was actually aborted.
+    pub fn interrupt(&mut self, core: usize, cost: u64) -> bool {
+        assert!(
+            core < self.sim.cfg.cores,
+            "component {:?} interrupted core {core}, but the machine has {} cores",
+            self.name,
+            self.sim.cfg.cores
+        );
+        self.sim.stats.interrupts_fired += 1;
+        self.sim.trace_comp(self.comp, self.name, "interrupt", core);
+        if !self.sim.caches[core].in_txn() {
+            return false;
+        }
+        self.sim.stats.tx_aborts_interrupt += 1;
+        let cost = cost.max(1);
+        self.sim.abort_txn_at(core, txn::INTERRUPT, cost);
+        true
+    }
+
+    /// Releases `core`'s `wait_tick()`: resumes the thread if it is
+    /// blocked in one, otherwise banks the tick for the next call.
+    /// Returns whether a thread was released (vs. banked).
+    pub fn release_tick(&mut self, core: usize) -> bool {
+        assert!(
+            core < self.sim.cfg.cores,
+            "component {:?} released core {core}, but the machine has {} cores",
+            self.name,
+            self.sim.cfg.cores
+        );
+        if self.sim.caches[core].op_state == OpState::TickWait {
+            self.sim.trace_comp(self.comp, self.name, "release", core);
+            let now = self.sim.clock;
+            self.sim.resume_at(core, now, OpOutcome::Val(0));
+            true
+        } else {
+            self.sim.trace_comp(self.comp, self.name, "bank", core);
+            self.sim.caches[core].ticks_banked += 1;
+            false
+        }
+    }
 }
 
 /// The protocol engine. Owned and driven by [`crate::machine`].
@@ -867,6 +979,17 @@ pub struct Sim {
     stall_scratch: Vec<(u64, LineId, Msg)>,
     /// Reusable buffer for directory-queued request replay.
     wb_scratch: VecDeque<(usize, Msg)>,
+    /// The component spine (see [`crate::component`]): index 0 is the
+    /// fused core complex, index 1 the directory, then one live actor
+    /// per `MachineConfig::components` spec. Ticks arrive as
+    /// `Event::CompTick` in ordinary `(time, seq)` order.
+    comps: Vec<Box<dyn Component>>,
+    /// True when any configured component can abort a transaction
+    /// asynchronously (an interrupt source). Gates the fast path for
+    /// transactional ops: with an async abort possible between
+    /// submission and issue, they must take the slow path so the abort
+    /// is observed at issue (and fast-path on/off stays bit-exact).
+    has_async_abort: bool,
 }
 
 impl Sim {
@@ -874,7 +997,24 @@ impl Sim {
         // +1 for the bootstrap core used by the setup phase.
         let ncaches = cfg.cores + 1;
         let caches = (0..ncaches).map(|c| Cache::new(cfg.socket_of(c))).collect();
-        Sim {
+        // The component spine. Cores and the directory are registered
+        // first — they are the built-in, message-driven components whose
+        // ticks are fused into the Deliver/IssueOp dispatch, so they
+        // request no ticks of their own. Configured actors follow in
+        // declaration order, which (with the shared seq counter) fixes
+        // the firing order of same-cycle ticks.
+        let mut comps: Vec<Box<dyn Component>> = vec![
+            Box::new(component::CoreComplex),
+            Box::new(component::DirectoryUnit),
+        ];
+        for spec in &cfg.components {
+            comps.push(component::build(spec, cfg.cores));
+        }
+        let has_async_abort = cfg
+            .components
+            .iter()
+            .any(|s| matches!(s, ComponentSpec::Interrupt { .. }));
+        let mut sim = Sim {
             rng: SimRng::seed_from_u64(cfg.seed),
             clock: 0,
             seq: 0,
@@ -893,8 +1033,19 @@ impl Sim {
             hop_min: cfg.hop_intra.min(cfg.hop_cross),
             stall_scratch: Vec::new(),
             wb_scratch: VecDeque::new(),
+            comps,
+            has_async_abort,
             cfg,
+        };
+        // Schedule every component's first tick. With no configured
+        // components this pushes nothing (the built-ins never tick), so
+        // the seq stream — and every determinism golden — is untouched.
+        for i in 0..sim.comps.len() {
+            if let Some(t) = sim.comps[i].next_tick(0) {
+                sim.push(t, Event::CompTick { comp: i as u32 });
+            }
         }
+        sim
     }
 
     /// Current simulated time, cycles.
@@ -1068,6 +1219,16 @@ impl Sim {
             let c = &self.caches[core];
             (c.state(line), c.in_txn())
         };
+        // An interrupt component can abort this transaction *between*
+        // submission and the issue time `t` — the one asynchronous event
+        // the non-interference gate cannot exclude, because it arrives by
+        // component tick rather than coherence message. Transactional ops
+        // then must take the slow path, where `begin_op` observes the
+        // pended abort at issue (and fast-path on/off stays bit-exact
+        // under interrupt components).
+        if in_txn && self.has_async_abort {
+            return false;
+        }
         let cap = self.cfg.tx_capacity_lines;
         // `None` = hit shape (effects applied now, one `FastHit` event);
         // `Some(waiter)` = RMW shape (a `FastRmw` event enters the
@@ -1171,6 +1332,27 @@ impl Sim {
         !self.events.is_empty()
     }
 
+    /// Diagnostic for the machine layer's deadlock assertion: names every
+    /// core still owing a response when the event queue runs dry, with a
+    /// hint for the common misconfiguration (a `wait_tick()` with no
+    /// `TickGate` firings left to release it).
+    pub fn stuck_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (c, cache) in self.caches.iter().enumerate() {
+            if cache.op_state != OpState::Idle {
+                let _ = write!(s, " core {c} is {:?};", cache.op_state);
+            }
+        }
+        if s.contains("TickWait") {
+            s.push_str(
+                " a TickWait core blocks in wait_tick() until a TickGate component \
+                 releases it — configure one with enough firings (period/count)",
+            );
+        }
+        s
+    }
+
     /// Processes the next event; returns false if the queue was empty.
     pub fn step(&mut self) -> bool {
         let Some((time, ev)) = self.events.pop(self.clock) else {
@@ -1207,17 +1389,35 @@ impl Sim {
             Event::FastHit { core, result } => {
                 debug_assert_eq!(self.caches[core].op_state, OpState::Inbox);
                 self.caches[core].op_state = OpState::Current;
-                let done = self.clock + self.cfg.hit_cycles;
-                self.resume_at(core, done, OpOutcome::Val(result));
+                // A component interrupt can abort the enclosing
+                // transaction while the stand-in event is pending (the
+                // admission gate keeps transactional ops off the fast
+                // path when that is possible, but deliver the abort
+                // rather than a stale value if it ever happens —
+                // mirroring `begin_op`).
+                if let Some(status) = self.caches[core].pending_abort.take() {
+                    self.resume_at(core, self.clock, OpOutcome::Aborted(status));
+                } else {
+                    let done = self.clock + self.cfg.hit_cycles;
+                    self.resume_at(core, done, OpOutcome::Val(result));
+                }
             }
             Event::FastRmw { core, line, waiter } => {
                 debug_assert_eq!(self.caches[core].op_state, OpState::Inbox);
+                // RMW shapes are only admitted outside transactions, and
+                // a core blocked on its own op cannot enter one — so no
+                // abort can be pending here.
+                debug_assert!(
+                    self.caches[core].pending_abort.is_none(),
+                    "abort pended against a non-transactional fast-path RMW"
+                );
                 self.caches[core].op_state = OpState::Current;
                 // M, or E silently upgraded by the store (MESI-E) —
                 // mirrors the owned branch of `op_store`.
                 self.caches[core].set_state(line, CState::Modified);
                 self.start_rmw(core, line, waiter);
             }
+            Event::CompTick { comp } => self.comp_tick(comp as usize),
         }
         if self.cfg.check_invariants {
             if self.check_countdown == 0 {
@@ -1228,6 +1428,53 @@ impl Sim {
             }
         }
         true
+    }
+
+    // ------------------------------------------------------------------
+    // Component spine
+    // ------------------------------------------------------------------
+
+    /// Dispatches one component tick: runs `tick` at the current clock
+    /// and reschedules from `next_tick`. The component is moved out of
+    /// its slot for the duration of the call (a tombstone stands in) so
+    /// it can mutate the simulator through [`CompCtx`].
+    fn comp_tick(&mut self, i: usize) {
+        self.stats.comp_ticks += 1;
+        let mut c = std::mem::replace(
+            &mut self.comps[i],
+            Box::new(component::Tombstone) as Box<dyn Component>,
+        );
+        let now = self.clock;
+        c.tick(
+            now,
+            &mut CompCtx {
+                sim: self,
+                comp: i,
+                name: c.name(),
+            },
+        );
+        if let Some(t) = c.next_tick(now) {
+            debug_assert!(
+                t > now,
+                "component {:?} rescheduled its tick into the past or present \
+                 (next {t} <= now {now}); ticks must strictly advance",
+                c.name()
+            );
+            self.push(t, Event::CompTick { comp: i as u32 });
+        }
+        self.comps[i] = c;
+    }
+
+    fn trace_comp(&mut self, comp: usize, name: &'static str, what: &'static str, core: usize) {
+        if self.cfg.trace {
+            self.trace.push(TraceEvent::Comp {
+                time: self.clock,
+                comp,
+                name,
+                what,
+                core,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1305,6 +1552,20 @@ impl Sim {
             OpKind::TxAbort(code) => {
                 assert!(self.caches[core].txn.is_some(), "xabort outside txn");
                 self.abort_txn(core, txn::explicit(code));
+            }
+            OpKind::WaitTick => {
+                assert!(
+                    !self.caches[core].in_txn(),
+                    "wait_tick() inside a transaction: a tick release is an external \
+                     resume and cannot be part of a transaction's atomic window"
+                );
+                let c = &mut self.caches[core];
+                if c.ticks_banked > 0 {
+                    c.ticks_banked -= 1;
+                    self.resume_at(core, self.clock, OpOutcome::Val(0));
+                } else {
+                    c.op_state = OpState::TickWait;
+                }
             }
         }
     }
@@ -1596,6 +1857,15 @@ impl Sim {
     /// Aborts `core`'s running transaction with the given status bits
     /// (RETRY/NESTED are added here).
     fn abort_txn(&mut self, core: usize, status: u32) {
+        self.abort_txn_at(core, status, 0);
+    }
+
+    /// [`abort_txn`] with `extra` cycles added to the victim's resume
+    /// time — the interrupt path uses it to charge the handler cost
+    /// before the abort is delivered. An abort pended against an inbox
+    /// op is reported at issue as usual (the handler overlaps the time
+    /// the op was queued anyway).
+    fn abort_txn_at(&mut self, core: usize, status: u32, extra: u64) {
         let Some(mut t) = self.caches[core].txn.take() else {
             return;
         };
@@ -1634,16 +1904,17 @@ impl Sim {
 
         // Restore the thread at the checkpoint: exactly one response is
         // owed whenever op_state != Idle.
+        let resume = self.clock + extra;
         let cache = &mut self.caches[core];
         match cache.op_state {
             OpState::Current => {
                 // The abort was triggered from within the thread's own op
                 // (xabort, or spurious at xend).
-                self.resume_at(core, self.clock, OpOutcome::Aborted(status));
+                self.resume_at(core, resume, OpOutcome::Aborted(status));
             }
             OpState::Delaying => {
                 cache.gen += 1; // cancel the DelayDone wake-up
-                self.resume_at(core, self.clock, OpOutcome::Aborted(status));
+                self.resume_at(core, resume, OpOutcome::Aborted(status));
             }
             OpState::PendingWait => {
                 // Cancel the waiter (or the deferred op); any in-flight
@@ -1656,13 +1927,16 @@ impl Sim {
                         .expect("PendingWait without pending or deferred");
                     p.waiter = None;
                 }
-                self.resume_at(core, self.clock, OpOutcome::Aborted(status));
+                self.resume_at(core, resume, OpOutcome::Aborted(status));
             }
             OpState::Inbox => {
                 // Report when the op issues.
                 cache.pending_abort = Some(status);
             }
             OpState::RmwExec => unreachable!("RMW inside transaction"),
+            OpState::TickWait => {
+                unreachable!("wait_tick() inside a transaction (rejected at dispatch)")
+            }
             OpState::Idle => unreachable!("abort with no outstanding thread op"),
         }
         self.drain_stalled(core);
@@ -2303,6 +2577,21 @@ pub mod testhooks {
             );
         }
 
+        /// Schedules `payload` at `time` WITHOUT the probe's past-time
+        /// guard, so tests can confirm the raw queue's own debug
+        /// assertion catches past-scheduling misuse with a clear message.
+        pub fn push_unguarded(&mut self, time: u64, payload: u64) {
+            self.seq += 1;
+            self.q.push(
+                self.clock,
+                time,
+                self.seq,
+                Event::IssueOp {
+                    core: payload as usize,
+                },
+            );
+        }
+
         /// Pops the earliest event, advancing the clock to its time.
         pub fn pop(&mut self) -> Option<(u64, u64)> {
             let (time, ev) = self.q.pop(self.clock)?;
@@ -2323,6 +2612,10 @@ fn op_line(op: &OpKind) -> Option<u64> {
         | OpKind::Cas(line, _, _)
         | OpKind::Faa(line, _)
         | OpKind::Swap(line, _) => Some(line),
-        OpKind::Delay(_) | OpKind::TxBegin | OpKind::TxEnd | OpKind::TxAbort(_) => None,
+        OpKind::Delay(_)
+        | OpKind::TxBegin
+        | OpKind::TxEnd
+        | OpKind::TxAbort(_)
+        | OpKind::WaitTick => None,
     }
 }

@@ -21,8 +21,8 @@ pub const MSG_KINDS: [&str; 9] = [
 
 /// Operation kinds, in canonical (declaration/report) order. Indices
 /// match `OpKind::name_id`.
-pub const OP_KINDS: [&str; 9] = [
-    "read", "write", "cas", "faa", "swap", "delay", "xbegin", "xend", "xabort",
+pub const OP_KINDS: [&str; 10] = [
+    "read", "write", "cas", "faa", "swap", "delay", "xbegin", "xend", "xabort", "waittick",
 ];
 
 /// Counters accumulated over a simulation run.
@@ -44,6 +44,16 @@ pub struct Stats {
     /// Aborts from exceeding the modelled transactional capacity
     /// (`MachineConfig::tx_capacity_lines`).
     pub tx_aborts_capacity: u64,
+    /// Aborts injected by a preemption/interrupt component
+    /// (`ComponentSpec::Interrupt` → `txn::INTERRUPT`).
+    pub tx_aborts_interrupt: u64,
+    /// Interrupts fired by preemption components, whether or not the
+    /// victim was in a transaction (non-transactional victims absorb the
+    /// handler without an engine-visible effect).
+    pub interrupts_fired: u64,
+    /// Component ticks dispatched (`Event::CompTick`). Like `events`, an
+    /// engine-work measure, not a protocol observable.
+    pub comp_ticks: u64,
     /// Coherence messages stalled at a cache because of a pending request
     /// or an executing RMW.
     pub stalls: u64,
@@ -111,6 +121,7 @@ impl Stats {
             + self.tx_aborts_explicit
             + self.tx_aborts_spurious
             + self.tx_aborts_capacity
+            + self.tx_aborts_interrupt
     }
 }
 
@@ -141,6 +152,16 @@ pub enum TraceEvent {
         core: usize,
         what: &'static str,
         line: u64,
+    },
+    /// A component-spine action at `time`: component `comp` (`name` is
+    /// its stable name) did `what` ("interrupt", "release", "bank") to
+    /// application core `core`.
+    Comp {
+        time: u64,
+        comp: usize,
+        name: &'static str,
+        what: &'static str,
+        core: usize,
     },
 }
 

@@ -21,6 +21,12 @@ pub const CAPACITY: u32 = 1 << 4;
 /// running. TxCAS uses this to learn that the CAS write step had not yet
 /// executed.
 pub const NESTED: u32 = 1 << 5;
+/// Abort status bit: an external preemption/interrupt component (see
+/// `coherence::component::InterruptSource`) parked the core mid-transaction.
+/// Unlike [`SPURIOUS`] (a probabilistic commit-time model), an interrupt
+/// abort is injected at a scheduled machine time, independently of what the
+/// victim transaction is doing. Always paired with [`RETRY`].
+pub const INTERRUPT: u32 = 1 << 6;
 
 /// Builds a status word for an explicit abort carrying `code` (0..=255).
 pub fn explicit(code: u8) -> u32 {
@@ -52,6 +58,11 @@ pub fn is_capacity(status: u32) -> bool {
     status & CAPACITY != 0
 }
 
+/// True if the status word reports a preemption/interrupt abort.
+pub fn is_interrupt(status: u32) -> bool {
+    status & INTERRUPT != 0
+}
+
 /// An in-flight abort, unwound through transaction bodies with `?`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Abort {
@@ -80,5 +91,18 @@ mod tests {
         assert!(is_conflict(s));
         assert!(is_nested(s));
         assert!(!is_explicit(s));
+    }
+
+    #[test]
+    fn interrupt_bits_are_retryable_and_distinct() {
+        let s = INTERRUPT | RETRY;
+        assert!(is_interrupt(s));
+        assert!(!is_conflict(s));
+        assert!(!is_explicit(s));
+        assert!(!is_capacity(s));
+        assert_eq!(
+            INTERRUPT & (EXPLICIT | RETRY | CONFLICT | SPURIOUS | CAPACITY | NESTED),
+            0
+        );
     }
 }

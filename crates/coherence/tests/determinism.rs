@@ -7,7 +7,7 @@
 //! consumers), so any divergence is a scheduler-ordering bug, not noise.
 
 use absmem::ThreadCtx;
-use coherence::{Machine, MachineConfig, Program, RunReport, SimCtx};
+use coherence::{ComponentSpec, Machine, MachineConfig, Program, RunReport, SimCtx};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 
@@ -54,8 +54,14 @@ fn fingerprint(r: &RunReport) -> String {
 /// FAA and CAS, shared reads, exclusive writes, swap, delays, an HTM
 /// transaction with retry, allocation/free, and a mid-run barrier.
 /// `os_threads` forces the OS-thread scheduler instead of the default
-/// fiber scheduler (where fibers are supported).
-fn fixed_workload_on(cores: usize, dual_socket: bool, os_threads: bool) -> RunReport {
+/// fiber scheduler (where fibers are supported). `heartbeat` attaches a
+/// benign no-op component — the fingerprint must not move.
+fn fixed_workload_full(
+    cores: usize,
+    dual_socket: bool,
+    os_threads: bool,
+    heartbeat: bool,
+) -> RunReport {
     let mut cfg = if dual_socket {
         MachineConfig::dual_socket(cores.div_ceil(2))
     } else {
@@ -64,6 +70,12 @@ fn fixed_workload_on(cores: usize, dual_socket: bool, os_threads: bool) -> RunRe
     cfg.delay_jitter_pct = 0;
     cfg.spurious_abort_prob = 0.0;
     cfg.os_thread_scheduler = os_threads;
+    if heartbeat {
+        cfg.components.push(ComponentSpec::Heartbeat {
+            period: 61,
+            count: 0,
+        });
+    }
     let shared = Arc::new(AtomicU64::new(0));
     let programs: Vec<Program> = (0..cores)
         .map(|i| {
@@ -140,6 +152,11 @@ fn fixed_workload_on(cores: usize, dual_socket: bool, os_threads: bool) -> RunRe
         }),
         programs,
     )
+}
+
+/// The fixture without components attached.
+fn fixed_workload_on(cores: usize, dual_socket: bool, os_threads: bool) -> RunReport {
+    fixed_workload_full(cores, dual_socket, os_threads, false)
 }
 
 /// The fixture on the default scheduler (fibers on x86_64).
@@ -231,6 +248,26 @@ fn schedulers_agree_with_each_other() {
     }
 }
 
+/// A benign (no-op) component must leave the run byte-identical to the
+/// component-free goldens: its ticks are ordinary events that touch no
+/// core, no line, and no RNG, so the observable machine cannot move.
+/// This is the component spine's central determinism claim.
+#[test]
+fn benign_component_matches_component_free_goldens() {
+    let fp = fingerprint(&fixed_workload_full(4, false, false, true));
+    assert_eq!(
+        normalize(&fp),
+        normalize(GOLDEN_4_SINGLE),
+        "a no-op heartbeat component perturbed the single-socket golden"
+    );
+    let fp = fingerprint(&fixed_workload_full(6, true, true, true));
+    assert_eq!(
+        normalize(&fp),
+        normalize(GOLDEN_6_DUAL),
+        "a no-op heartbeat component perturbed the dual-socket golden (OS threads)"
+    );
+}
+
 /// The fixture under a randomized machine configuration derived from
 /// `seed`, with every RNG-consuming fault knob live: delay jitter,
 /// spurious aborts, scheduler perturbation, and a transactional capacity
@@ -238,6 +275,13 @@ fn schedulers_agree_with_each_other() {
 /// the shared-`Sim` RNG is consumed in submit order — which both
 /// schedulers produce identically.
 fn randomized_faulty_workload_on(seed: u64, os_threads: bool) -> RunReport {
+    randomized_faulty_workload_full(seed, os_threads, false)
+}
+
+/// As above, optionally with a benign heartbeat component attached
+/// *after* the RNG-derived knobs, so the config derivation stream is
+/// untouched and the fingerprint must match the component-free run.
+fn randomized_faulty_workload_full(seed: u64, os_threads: bool, heartbeat: bool) -> RunReport {
     let mut rng = simrng::SimRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd1f7);
     let cores = rng.gen_range_inclusive(2, 6) as usize;
     let dual = rng.gen_bool(0.4);
@@ -259,6 +303,12 @@ fn randomized_faulty_workload_on(seed: u64, os_threads: bool) -> RunReport {
     cfg.microarch_fix = rng.gen_bool(0.5);
     cfg.seed = rng.next_u64();
     cfg.os_thread_scheduler = os_threads;
+    if heartbeat {
+        cfg.components.push(ComponentSpec::Heartbeat {
+            period: 97,
+            count: 0,
+        });
+    }
 
     let shared = Arc::new(AtomicU64::new(0));
     let programs: Vec<Program> = (0..cores)
@@ -305,8 +355,10 @@ fn randomized_faulty_workload_on(seed: u64, os_threads: bool) -> RunReport {
 /// Differential fuzz across schedulers: 32 random seeds, all fault knobs
 /// active, fiber vs OS-thread fingerprints must be identical — the
 /// simfuzz harness depends on this to make its artifacts
-/// scheduler-independent. Each seed's (fiber, thread) fingerprint pair
-/// is one job on a `runner` pool; since every seed builds its own
+/// scheduler-independent. Each seed additionally runs with a benign
+/// heartbeat component attached (fiber scheduler), which must match the
+/// component-free fingerprint byte for byte. Each seed's fingerprint
+/// triple is one job on a `runner` pool; since every seed builds its own
 /// `Machine`, the seeds are independent and the pool's submission-order
 /// merge reports the *lowest* diverging seed whatever finishes first.
 #[test]
@@ -317,15 +369,20 @@ fn schedulers_agree_on_randomized_fault_injection_workloads() {
                 (
                     fingerprint(&randomized_faulty_workload_on(seed, false)),
                     fingerprint(&randomized_faulty_workload_on(seed, true)),
+                    fingerprint(&randomized_faulty_workload_full(seed, false, true)),
                 )
             }
         })
         .collect();
-    let (pairs, _) = runner::run_all(runner::default_jobs(), tasks);
-    for (seed, (fibers, threads)) in pairs.iter().enumerate() {
+    let (triples, _) = runner::run_all(runner::default_jobs(), tasks);
+    for (seed, (fibers, threads, with_comp)) in triples.iter().enumerate() {
         assert_eq!(
             fibers, threads,
             "fiber and OS-thread schedulers diverged at fault seed {seed}"
+        );
+        assert_eq!(
+            fibers, with_comp,
+            "a benign no-op component changed the run at fault seed {seed}"
         );
     }
 }

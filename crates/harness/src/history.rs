@@ -32,6 +32,15 @@ pub struct DriveSpec {
     /// backend interaction, so enabling observability cannot perturb the
     /// run (`tests/obs_trace.rs` pins this).
     pub obs: Option<Arc<ObsSink>>,
+    /// Per-thread pacing stride: entry `t` = `k > 0` makes thread `t`
+    /// call [`ThreadCtx::wait_tick`] before every `k`-th main-loop op
+    /// (`k = 1` paces every op; `k = batch` paces bursts). `0`, a missing
+    /// entry, or an empty vector leaves the thread unpaced. The drain
+    /// phase is never paced. On the simulator a paced thread blocks until
+    /// a `TickGate` component releases it; backends without a tick source
+    /// (native) return immediately, so pacing is a scheduling constraint,
+    /// never a correctness dependency.
+    pub pace: Vec<u64>,
 }
 
 impl DriveSpec {
@@ -42,6 +51,7 @@ impl DriveSpec {
             ops,
             drain,
             obs: None,
+            pace: Vec::new(),
         }
     }
 }
@@ -143,11 +153,13 @@ where
     let programs: Vec<Job<B::Ctx>> = spec
         .ops
         .iter()
-        .map(|ops| {
+        .enumerate()
+        .map(|(t, ops)| {
             let ops = ops.clone();
             let base = Arc::clone(&base);
             let recorders = Arc::clone(&recorders);
             let sink = spec.obs.clone();
+            let pace = spec.pace.get(t).copied().unwrap_or(0);
             Box::new(move |ctx: &mut B::Ctx| {
                 let mut q = Q::attach(base.load(SeqCst), ctx, &qp);
                 let tid = ctx.thread_id();
@@ -158,7 +170,10 @@ where
                 if let Some(o) = &mut tobs {
                     o.instant(InstantKind::Barrier, ctx.now(), 0);
                 }
-                for &is_enq in &ops {
+                for (i, &is_enq) in ops.iter().enumerate() {
+                    if pace > 0 && (i as u64).is_multiple_of(pace) {
+                        ctx.wait_tick();
+                    }
                     let invoke = ctx.now();
                     if is_enq {
                         seq += 1;

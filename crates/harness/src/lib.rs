@@ -25,6 +25,9 @@
 //!   `obs::ObsSink`, in which case the same loop also emits typed
 //!   observability spans on either backend (off by default; recording
 //!   reuses the history timestamps, so it cannot perturb the run).
+//! - [`scenario`]: component-driven end-to-end scenarios (preemption,
+//!   timer-paced consumer, DMA-style bulk enqueuer) over the simulator's
+//!   component spine, with deterministic summaries for CI diffing.
 //! - [`calibrate`]: the shared native busy-wait calibration behind
 //!   `ThreadCtx::delay`.
 
@@ -32,6 +35,7 @@ pub mod backend;
 pub mod calibrate;
 pub mod history;
 pub mod queues;
+pub mod scenario;
 
 pub use backend::{Backend, BackendKind, BackendReport, Job, NativeBackend, SimBackend};
 pub use history::{
@@ -42,3 +46,4 @@ pub use queues::{
     BqOriginalQ, CcQ, MsQ, QueueAdapter, QueueKind, QueueParams, QueueVisitor, SbqCasQ, SbqHtmQ,
     SbqStripedQ, Substrate, WfQ,
 };
+pub use scenario::{run_scenario, ActorFamily, ScenarioOutcome, ScenarioSpec};

@@ -28,8 +28,8 @@ use coherence::txn::{Abort, TxResult};
 /// Re-exported abort-status helpers (bit constants and predicates).
 pub mod status {
     pub use coherence::txn::{
-        code, explicit, is_conflict, is_explicit, is_nested, CONFLICT, EXPLICIT, NESTED, RETRY,
-        SPURIOUS,
+        code, explicit, is_capacity, is_conflict, is_explicit, is_interrupt, is_nested, CAPACITY,
+        CONFLICT, EXPLICIT, INTERRUPT, NESTED, RETRY, SPURIOUS,
     };
 }
 

@@ -45,6 +45,11 @@ pub struct TraceMeta {
 /// The Dir track id; core/thread `n` maps to track `n + 1`.
 const DIR_TRACK: u64 = 0;
 
+/// Component `c` on the machine's component spine maps to track
+/// `COMP_TRACK_BASE + c`, far above any plausible core count so the two
+/// ranges never collide. Only components that actually acted appear.
+const COMP_TRACK_BASE: u64 = 1000;
+
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -136,8 +141,10 @@ pub fn export(logs: &[ThreadLog], sim_trace: &[TraceEvent], meta: &TraceMeta) ->
         }
     }
 
-    // Simulator bridge: coherence messages, HTM lifecycle, memory ops.
+    // Simulator bridge: coherence messages, HTM lifecycle, memory ops,
+    // component-spine actions.
     let mut have_dir = false;
+    let mut comp_tracks: std::collections::BTreeMap<u64, String> = Default::default();
     for e in sim_trace {
         match e {
             TraceEvent::Msg {
@@ -184,6 +191,24 @@ pub fn export(logs: &[ThreadLog], sim_trace: &[TraceEvent], meta: &TraceMeta) ->
                 tracks.insert(track);
                 let args = format!("\"line\":\"{line:#x}\"");
                 let json = instant_json(what, "mem", *time, track, &args);
+                push(&mut entries, *time, track, json);
+            }
+            TraceEvent::Comp {
+                time,
+                comp,
+                name,
+                what,
+                core,
+            } => {
+                // Each acting component gets its own track; the action
+                // also references the core it hit via args so the two
+                // tracks cross-link in the viewer.
+                let track = COMP_TRACK_BASE + *comp as u64;
+                comp_tracks
+                    .entry(track)
+                    .or_insert_with(|| format!("{name}#{comp}"));
+                let args = format!("\"core\":{core}");
+                let json = instant_json(&format!("{what}→C{core}"), "comp", *time, track, &args);
                 push(&mut entries, *time, track, json);
             }
         }
@@ -244,6 +269,15 @@ pub fn export(logs: &[ThreadLog], sim_trace: &[TraceEvent], meta: &TraceMeta) ->
             format!(
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{t},\"args\":{{\"name\":\"{core_prefix}{}\"}}}}",
                 t - 1
+            ),
+        );
+    }
+    for (t, name) in &comp_tracks {
+        emit(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{t},\"args\":{{\"name\":\"{}\"}}}}",
+                esc(name)
             ),
         );
     }

@@ -71,6 +71,20 @@ pub fn render_lanes(trace: &[TraceEvent], lanes: &[&str], max_rows: usize) -> St
                 }
             }
             TraceEvent::Op { .. } => {}
+            TraceEvent::Comp {
+                time,
+                name,
+                what,
+                core,
+                ..
+            } => {
+                // Component actions land in the lane of the core they
+                // act on (the component itself has no column).
+                let lane = format!("C{core}");
+                if lanes.contains(&lane.as_str()) {
+                    note(*time, &lane, format!("⚡{name}:{what}"));
+                }
+            }
         }
     }
 

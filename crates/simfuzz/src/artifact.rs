@@ -16,7 +16,10 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 /// Bumped whenever the plan fields or their meaning change.
-pub const ARTIFACT_VERSION: u64 = 1;
+/// v2 added the component-spine knobs (`preempt-period`, `preempt-cost`,
+/// `timer-period`); v1 artifacts predate components and are rejected
+/// rather than silently replayed without their fault model.
+pub const ARTIFACT_VERSION: u64 = 2;
 
 /// A parsed reproducer: the plan to replay plus the violation kind the
 /// original run produced (for replay verification).
@@ -72,6 +75,9 @@ pub fn render_artifact(plan: &FuzzPlan, violation: &Violation, witness: &[Event]
     s.push_str(&format!("dual-socket {}\n", plan.dual_socket as u64));
     s.push_str(&format!("microarch-fix {}\n", plan.microarch_fix as u64));
     s.push_str(&format!("machine-seed {}\n", plan.machine_seed));
+    s.push_str(&format!("preempt-period {}\n", plan.preempt_period));
+    s.push_str(&format!("preempt-cost {}\n", plan.preempt_cost));
+    s.push_str(&format!("timer-period {}\n", plan.timer_period));
     s.push_str("# minimized witness (thread op [invoke,ret]):\n");
     for e in witness {
         s.push_str(&format!(
@@ -158,6 +164,9 @@ pub fn parse_artifact(text: &str) -> Result<Artifact, String> {
             dual_socket: flag("dual-socket")?,
             microarch_fix: flag("microarch-fix")?,
             machine_seed: int("machine-seed")?,
+            preempt_period: int("preempt-period")?,
+            preempt_cost: int("preempt-cost")?,
+            timer_period: int("timer-period")?,
         },
         violation,
     })
@@ -202,9 +211,44 @@ mod tests {
         assert!(parse_artifact("").is_err());
         let plan = FuzzPlan::derive(0, None);
         let good = render_artifact(&plan, &Violation::NoLinearization, &[]);
-        let stale = good.replace("version 1", "version 999");
+        let stale = good.replace("version 2", "version 999");
         assert!(parse_artifact(&stale).unwrap_err().contains("version"));
         let broken = good.replace("threads", "thread-count");
         assert!(parse_artifact(&broken).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_pre_component_v1_artifacts() {
+        // A v1 artifact carries neither the version nor the component
+        // knobs; both defects must be caught, version first.
+        let plan = FuzzPlan::derive(3, None);
+        let good = render_artifact(&plan, &Violation::NoLinearization, &[]);
+        let v1 = good
+            .replace("version 2", "version 1")
+            .lines()
+            .filter(|l| {
+                !l.starts_with("preempt-period")
+                    && !l.starts_with("preempt-cost")
+                    && !l.starts_with("timer-period")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(parse_artifact(&v1).unwrap_err().contains("version 1"));
+        // Even with a forged current version, the missing knobs reject.
+        let forged = v1.replace("version 1", "version 2");
+        assert!(parse_artifact(&forged)
+            .unwrap_err()
+            .contains("preempt-period"));
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_component_knobs() {
+        let plan = FuzzPlan::derive(5, None);
+        let good = render_artifact(&plan, &Violation::NoLinearization, &[]);
+        let line = format!("timer-period {}", plan.timer_period);
+        let corrupt = good.replace(line.as_str(), "timer-period soon");
+        assert!(parse_artifact(&corrupt)
+            .unwrap_err()
+            .contains("timer-period"));
     }
 }

@@ -46,6 +46,18 @@ pub struct FuzzPlan {
     /// distinct from `seed` so schedule noise and op mix vary
     /// independently.
     pub machine_seed: u64,
+    /// Preemption-source period in cycles; 0 disables the component.
+    /// When set, an [`coherence::ComponentSpec::Interrupt`] actor fires
+    /// round-robin across cores, aborting in-flight transactions with
+    /// `txn::INTERRUPT` — the fuzzer's oracle must hold through
+    /// interrupt-aborted-and-retried operations.
+    pub preempt_period: u64,
+    /// Simulated interrupt-handler cost in cycles (used only when
+    /// `preempt_period > 0`, but always drawn so plans stay comparable).
+    pub preempt_cost: u64,
+    /// Timer-consumer period in cycles; 0 disables. When set, thread 0
+    /// is paced: a `TickGate` releases one of its ops per period.
+    pub timer_period: u64,
 }
 
 impl FuzzPlan {
@@ -83,6 +95,20 @@ impl FuzzPlan {
             dual_socket: rng.gen_bool(0.4),
             microarch_fix: rng.gen_bool(0.5),
             machine_seed: rng.next_u64(),
+            // Component knobs draw *after* machine_seed so every pre-spine
+            // plan field keeps its historical derivation (struct literal
+            // fields evaluate in written order).
+            preempt_period: if rng.gen_bool(0.35) {
+                rng.gen_range_inclusive(1_500, 30_000)
+            } else {
+                0
+            },
+            preempt_cost: rng.gen_range_inclusive(50, 400),
+            timer_period: if rng.gen_bool(0.25) {
+                rng.gen_range_inclusive(2_000, 20_000)
+            } else {
+                0
+            },
         }
     }
 
@@ -116,6 +142,24 @@ impl FuzzPlan {
         // Protocol invariants are the simulator's own regression net, not
         // the fuzzer's oracle; skip them for campaign throughput.
         m.check_invariants = false;
+        if self.preempt_period > 0 {
+            m.components.push(coherence::ComponentSpec::Interrupt {
+                period: self.preempt_period,
+                start: (self.preempt_period / 2).max(1),
+                cost: self.preempt_cost,
+                victim: None,
+            });
+        }
+        if self.timer_period > 0 {
+            // Exactly one release per paced main-loop op of thread 0
+            // (see `pace` in the runner); the drain phase is unpaced.
+            m.components.push(coherence::ComponentSpec::TickGate {
+                core: 0,
+                period: self.timer_period,
+                start: self.timer_period,
+                count: self.ops_per_thread,
+            });
+        }
         m
     }
 }

@@ -7,7 +7,8 @@
 //!    decrement `threads` (never below 2: a linearizability violation
 //!    needs contention);
 //! 2. discharge fault knobs one at a time — spurious aborts, capacity
-//!    limit, jitter, scheduler perturbation, dual-socket topology. A knob
+//!    limit, jitter, scheduler perturbation, dual-socket topology, and
+//!    the component actors (preemption source, timer pacing). A knob
 //!    that survives zeroing was not needed to trigger the bug, so the
 //!    artifact records only the faults that matter;
 //! 3. hand the final witness history to [`linearize::shrink_history`]
@@ -130,6 +131,18 @@ fn candidates(p: &FuzzPlan) -> Vec<FuzzPlan> {
     if p.dual_socket {
         let mut c = p.clone();
         c.dual_socket = false;
+        out.push(c);
+    }
+    // Component actors are fault knobs too: a bug that survives without
+    // the preemption source or the timer pacing should record neither.
+    if p.preempt_period != 0 {
+        let mut c = p.clone();
+        c.preempt_period = 0;
+        out.push(c);
+    }
+    if p.timer_period != 0 {
+        let mut c = p.clone();
+        c.timer_period = 0;
         out.push(c);
     }
     out

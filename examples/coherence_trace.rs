@@ -84,6 +84,15 @@ fn run(htm: bool) {
                     "-", "-"
                 )
             }
+            TraceEvent::Comp {
+                time,
+                name,
+                what,
+                core,
+                ..
+            } => {
+                println!("{time:<8}{:<8}C{core:<5}{:<6}[{name}] {what}", "-", "-")
+            }
             TraceEvent::Op { .. } => {}
         }
     }

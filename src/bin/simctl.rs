@@ -131,11 +131,33 @@
 //! load-check <file.json>` validates such a document: schema tag,
 //! ordered percentiles per point, full completion, and a knee that
 //! points at an actual probed rate (exit 1 on violation).
+//!
+//! `simctl scenario <preempt|timer|dma> [key=value ...]` runs one
+//! component-actor scenario (see [`harness::scenario`]) on the
+//! simulator: a periodic interrupt source preempting workers, a
+//! timer-paced consumer, or a DMA-style bulk enqueuer on a divided
+//! clock. The run records a linearizability-checked history and prints
+//! a deterministic key=value summary — byte-identical across repeats of
+//! the same spec, which is what the `component-smoke` CI job diffs.
+//! Exit 1 on a linearizability violation. Keys:
+//!
+//! ```text
+//! queue    queue under test                   default sbq-htm
+//! workers  worker threads                     default 3
+//! ops      ops per worker                     default 24
+//! period   interrupt/tick period, cycles      default 1500
+//! cost     interrupt handler cost (preempt)   default 150
+//! batch    burst size (dma)                   default 4
+//! divider  gate clock divider (dma)           default 2
+//! seed     machine RNG seed                   default 1
+//! out      write the summary here (optional)
+//! trace-out  write a validated Chrome trace here (optional)
+//! ```
 
 use bench::workload::{
     paper_workload, run_workload, run_workload_native, trace_workload, Workload, WorkloadKind,
 };
-use harness::{BackendKind, QueueKind, QueueParams};
+use harness::{run_scenario, ActorFamily, BackendKind, QueueKind, QueueParams, ScenarioSpec};
 use loadgen::{ArrivalPattern, LoadPlan, SweepSpec};
 
 const HELP: &str = "simctl — run queue experiments from the command line
@@ -161,6 +183,9 @@ usage:
       slo-p99 depth-slo jobs out tsv-out)
   simctl load-check <file.json>
       validate an sbq-loadgen-v1 document (exit 1 if invalid)
+  simctl scenario <preempt|timer|dma> [key=value ...]
+      one component-actor scenario with a deterministic summary (keys:
+      queue workers ops period cost batch divider seed out trace-out)
   simctl help | --help | -h
       this text
 
@@ -868,6 +893,84 @@ fn load_check_main(args: &[String]) {
     );
 }
 
+/// `simctl scenario <family> [key=value ...]`: one component-actor
+/// scenario run end to end — stage the machine with its actor, drive the
+/// queue, check linearizability, and print the deterministic summary.
+fn scenario_main(args: &[String]) {
+    let Some(first) = args.first() else {
+        eprintln!("scenario needs a family: preempt, timer, or dma");
+        usage();
+    };
+    let Some(family) = ActorFamily::parse(first) else {
+        eprintln!("unknown scenario family `{first}` (expected preempt, timer, or dma)");
+        usage();
+    };
+    let mut spec = ScenarioSpec::smoke(family);
+    let mut out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    for kv in &args[1..] {
+        let Some((k, v)) = kv.split_once('=') else {
+            eprintln!("expected key=value, got `{kv}`");
+            usage();
+        };
+        match k {
+            "queue" => {
+                spec.queue = QueueKind::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown queue `{v}`");
+                    usage();
+                });
+                continue;
+            }
+            "out" => {
+                out = Some(v.to_string());
+                continue;
+            }
+            "trace-out" => {
+                trace_out = Some(v.to_string());
+                continue;
+            }
+            _ => {}
+        }
+        let n: u64 = v.parse().unwrap_or_else(|_| usage());
+        match k {
+            "workers" => spec.workers = n as usize,
+            "ops" => spec.ops = n,
+            "period" => spec.period = n,
+            "cost" => spec.cost = n,
+            "batch" => spec.batch = n,
+            "divider" => spec.divider = n,
+            "seed" => spec.seed = n,
+            other => {
+                eprintln!("unknown key `{other}`");
+                usage();
+            }
+        }
+    }
+    spec.trace = trace_out.is_some();
+
+    let outcome = run_scenario(&spec);
+    print!("{}", outcome.summary);
+    if let Some(path) = out {
+        std::fs::write(&path, &outcome.summary).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote summary to {path}");
+    }
+    if let Some(path) = trace_out {
+        let json = outcome.chrome_json.expect("trace-out requested a trace");
+        // Same self-check as `simctl trace`: never write a document that
+        // `simctl trace-validate` would reject.
+        if let Err(e) = obs::validate(&json) {
+            eprintln!("internal error: scenario trace failed validation: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    if let Some(v) = outcome.violation {
+        eprintln!("scenario: LINEARIZABILITY VIOLATION: {v}");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -878,6 +981,7 @@ fn main() {
         Some("trace-validate") => return trace_validate_main(&args[1..]),
         Some("load") => return load_main(&args[1..]),
         Some("load-check") => return load_check_main(&args[1..]),
+        Some("scenario") => return scenario_main(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
             println!("{HELP}");
             return;
@@ -890,9 +994,9 @@ fn main() {
         BackendKind::Native => run_workload_native(spec.queue, &spec.w),
     };
 
-    println!("queue\tworkload\tthreads\tlatency_ns\tthroughput_mops\tduration_ns_per_op\ttx_commits\ttx_aborts\ttripped\tp50_ns\tp99_ns\tmax_ns");
+    println!("queue\tworkload\tthreads\tlatency_ns\tthroughput_mops\tduration_ns_per_op\ttx_commits\ttx_aborts\ttx_aborts_interrupt\ttripped\tp50_ns\tp99_ns\tmax_ns");
     println!(
-        "{}\t{:?}\t{}\t{:.1}\t{:.3}\t{:.1}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}",
+        "{}\t{:?}\t{}\t{:.1}\t{:.3}\t{:.1}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}",
         m.queue,
         spec.kind,
         m.threads,
@@ -901,6 +1005,7 @@ fn main() {
         m.duration_ns_per_op,
         m.tx_commits,
         m.tx_aborts,
+        m.tx_aborts_interrupt,
         m.tripped_writers,
         m.p50_ns,
         m.p99_ns,
