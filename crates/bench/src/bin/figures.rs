@@ -5,10 +5,12 @@
 //! ```
 //!
 //! Subcommands: `fig1 fig2 fig3 fig5 fig6 fig7 speedups ablate-delay
-//! ablate-fix ablate-basket all`. Scale with `SBQ_OPS` (ops/thread) and
-//! `SBQ_THREADS` (comma-separated sweep); `SBQ_JOBS` sets the sweep's
-//! worker-thread count (default: all host cores — the output is
-//! byte-identical either way, see `bench::fig`).
+//! ablate-fix ablate-basket fig-numa all`. Scale with `SBQ_OPS`
+//! (ops/thread) and `SBQ_THREADS` (comma-separated sweep); `SBQ_JOBS`
+//! sets the sweep's worker-thread count (default: all host cores — the
+//! output is byte-identical either way, see `bench::fig`). `fig-numa`
+//! sweeps a `sockets x threads` grid set by `SBQ_NUMA_GRID` (default
+//! `1x44,2x88,4x176`).
 
 use bench::fig;
 
@@ -26,11 +28,12 @@ fn main() {
         "ablate-fix" => fig::ablate_fix(),
         "ablate-basket" => fig::ablate_basket(),
         "ablate-deq" => fig::ablate_deq(),
+        "fig-numa" => fig::fig_numa(),
         "all" => fig::all(),
         other => {
             eprintln!(
                 "unknown figure `{other}`; valid: fig1 fig2 fig3 fig5 fig6 fig7 \
-                 speedups ablate-delay ablate-fix ablate-basket all"
+                 speedups ablate-delay ablate-fix ablate-basket fig-numa all"
             );
             std::process::exit(2);
         }

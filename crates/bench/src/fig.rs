@@ -10,7 +10,9 @@
 //! the output is byte-identical for any `jobs` value (the equivalence
 //! suite in `tests/figures_jobs.rs` pins this).
 
-use crate::workload::{paper_workload, run_workload, Measurement, WorkloadKind};
+use crate::workload::{
+    numa_workload, paper_workload, run_workload, Measurement, NumaShape, WorkloadKind,
+};
 use crate::{env_u64, thread_counts};
 use absmem::ThreadCtx;
 use coherence::{cycles_to_ns, Machine, MachineConfig, Program, SimCtx, TraceEvent};
@@ -44,7 +46,25 @@ where
 
 /// One Figure-1 data point: every thread hammers one shared word.
 fn fig1_point(threads: usize, ops: u64, use_txcas: bool, params: TxCasParams) -> (f64, TxCasStats) {
-    let mut cfg = MachineConfig::single_socket(threads);
+    let (ns, stats, _) = fig1_point_on(
+        MachineConfig::single_socket(threads),
+        ops,
+        use_txcas,
+        params,
+    );
+    (ns, stats)
+}
+
+/// [`fig1_point`] on an explicit machine (the NUMA sweeps pass
+/// multi-socket topologies), additionally returning the run's
+/// (intra, cross) interconnect hop counts.
+fn fig1_point_on(
+    mut cfg: MachineConfig,
+    ops: u64,
+    use_txcas: bool,
+    params: TxCasParams,
+) -> (f64, TxCasStats, (u64, u64)) {
+    let threads = cfg.cores;
     cfg.check_invariants = false;
     let shared = Arc::new(AtomicU64::new(0));
     let lat: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
@@ -80,7 +100,7 @@ fn fig1_point(threads: usize, ops: u64, use_txcas: bool, params: TxCasParams) ->
         })
         .collect();
     let s2 = Arc::clone(&shared);
-    Machine::new(cfg).run(
+    let report = Machine::new(cfg).run(
         Box::new(move |ctx| {
             let a = ctx.alloc(1);
             ctx.write(a, 0);
@@ -93,7 +113,11 @@ fn fig1_point(threads: usize, ops: u64, use_txcas: bool, params: TxCasParams) ->
     let total_ops: u64 = lat.iter().map(|(_, o)| o).sum();
     let ns = cycles_to_ns(total_cycles) / total_ops as f64;
     let stats = stats_all.lock().unwrap().clone();
-    (ns, stats)
+    (
+        ns,
+        stats,
+        (report.stats.hops_intra, report.stats.hops_cross),
+    )
 }
 
 /// Figure 1 as TSV: TxCAS vs standard FAA latency as contention grows.
@@ -463,6 +487,124 @@ pub fn speedups() {
 }
 
 // ---------------------------------------------------------------------
+// NUMA sweeps: 44/88/176 cores on 1–4 sockets
+// ---------------------------------------------------------------------
+
+/// The paper machine's widths: one socket of 44 hardware threads, the
+/// dual-socket 88 it measures on, and a quad-socket 176 projection.
+pub const NUMA_GRID: &[(usize, usize)] = &[(1, 44), (2, 88), (4, 176)];
+
+/// Parses `spec` as a `sockets x threads` grid (e.g. `"1x44,2x88"`),
+/// falling back to [`NUMA_GRID`] when empty or unparseable.
+pub fn numa_grid(spec: &str) -> Vec<(usize, usize)> {
+    let parsed: Vec<(usize, usize)> = spec
+        .split(',')
+        .filter_map(|p| {
+            let (s, t) = p.trim().split_once('x')?;
+            Some((s.trim().parse().ok()?, t.trim().parse().ok()?))
+        })
+        .collect();
+    if parsed.is_empty() {
+        NUMA_GRID.to_vec()
+    } else {
+        parsed
+    }
+}
+
+/// The NUMA figure as TSV — two tables over a `(sockets, threads)` grid:
+///
+/// * **sweep A** re-runs the Figure-1 crossover (raw FAA vs TxCAS on one
+///   contended word) on multi-socket machines with hash-interleaved
+///   directory homes, reporting each run's cross-socket hop count;
+/// * **sweep B** runs the [`NumaShape`] scenarios, SBQ-HTM vs the
+///   SBQ-CAS (FAA/CAS) baseline, with the hop split of the SBQ-HTM run.
+///
+/// One job per grid point per table, joined in submission order.
+pub fn fig_numa_text(ops: u64, grid: &[(usize, usize)], jobs: usize) -> String {
+    let mut s = String::from(
+        "# NUMA sweep A: TxCAS vs FAA across sockets — latency[ns/op], cross-socket hops\n",
+    );
+    s.push_str(&header_row(&[
+        "sockets",
+        "threads",
+        "FAA",
+        "TxCAS",
+        "faa_cross",
+        "tx_cross",
+    ]));
+    let tasks: Vec<_> = grid
+        .iter()
+        .map(|&(sockets, threads)| {
+            move || {
+                let cfg = || {
+                    let mut c =
+                        MachineConfig::multi_socket(sockets, threads.div_ceil(sockets.max(1)));
+                    c.cores = threads;
+                    c
+                };
+                let (faa, _, (_, faa_cross)) =
+                    fig1_point_on(cfg(), ops, false, TxCasParams::default());
+                let (tx, _, (_, tx_cross)) =
+                    fig1_point_on(cfg(), ops, true, TxCasParams::default());
+                format!("{sockets}\t{threads}\t{faa:.1}\t{tx:.1}\t{faa_cross}\t{tx_cross}\n")
+            }
+        })
+        .collect();
+    s.push_str(&sweep_rows(jobs, tasks));
+    s.push('\n');
+    s.push_str(
+        "# NUMA sweep B: scenarios — SBQ-HTM vs SBQ-CAS duration[ns/op], hop split (SBQ-HTM run)\n",
+    );
+    s.push_str(&header_row(&[
+        "shape",
+        "sockets",
+        "threads",
+        "sbq_htm",
+        "sbq_cas",
+        "intra",
+        "cross",
+        "dir_cross",
+    ]));
+    let tasks: Vec<_> = NumaShape::ALL
+        .into_iter()
+        .flat_map(|shape| {
+            grid.iter()
+                .map(move |&(sockets, threads)| (shape, sockets, threads))
+        })
+        .map(|(shape, sockets, threads)| {
+            move || {
+                let w = numa_workload(shape, sockets, threads, ops);
+                let htm = run_workload(QueueKind::SbqHtm, &w);
+                let cas = run_workload(QueueKind::SbqCas, &w);
+                format!(
+                    "{}\t{sockets}\t{}\t{:.1}\t{:.1}\t{}\t{}\t{}\n",
+                    shape.name(),
+                    htm.threads,
+                    htm.duration_ns_per_op,
+                    cas.duration_ns_per_op,
+                    htm.hops_intra,
+                    htm.hops_cross,
+                    htm.dir_hops_cross,
+                )
+            }
+        })
+        .collect();
+    s.push_str(&sweep_rows(jobs, tasks));
+    s
+}
+
+/// The NUMA figure with environment knobs: `SBQ_OPS` scales per-thread
+/// work, `SBQ_NUMA_GRID` overrides the `sockets x threads` grid (e.g.
+/// `SBQ_NUMA_GRID=2x88` for one dual-socket point).
+pub fn fig_numa() {
+    let grid = numa_grid(&std::env::var("SBQ_NUMA_GRID").unwrap_or_default());
+    print!(
+        "{}",
+        fig_numa_text(env_u64("SBQ_OPS", 120), &grid, runner::default_jobs())
+    );
+}
+
+// ---------------------------------------------------------------------
 // Ablations
 // ---------------------------------------------------------------------
 
@@ -693,4 +835,6 @@ pub fn all() {
     ablate_basket();
     println!();
     ablate_deq();
+    println!();
+    fig_numa();
 }

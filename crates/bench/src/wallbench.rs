@@ -19,7 +19,9 @@
 //! `baseline=FILE.tsv` (a previous `tsv-out=` capture) to embed a
 //! before/after comparison with per-point speedups.
 
-use crate::workload::{paper_workload, run_workload, run_workload_native, WorkloadKind};
+use crate::workload::{
+    numa_workload, paper_workload, run_workload, run_workload_native, NumaShape, WorkloadKind,
+};
 use absmem::ThreadCtx;
 use coherence::{Machine, MachineConfig, Program, SimCtx};
 use harness::QueueKind;
@@ -195,6 +197,30 @@ pub fn run_points_jobs(scale: u64, reps: u32, jobs: usize) -> (Vec<WallPoint>, r
             });
             ctr.apply(WallPoint::from_hist(
                 "fig5_sbq_producer",
+                threads,
+                threads as u64 * ops,
+                &h,
+            ))
+        }),
+        Box::new(move || {
+            // Paper-scale NUMA point: 88 cores on two sockets, producers
+            // on socket 0, consumers on socket 1, directory homes
+            // hash-interleaved. This is the engine's scale stress — the
+            // wall cost of the machine the figures now sweep.
+            let (threads, ops) = (88usize, 24 * scale);
+            let mut w = numa_workload(NumaShape::CrossSplit, 2, threads, ops);
+            w.machine.delay_jitter_pct = 0;
+            let mut ctr = SimCounters::default();
+            let h = sample_reps(reps, || {
+                let m = run_workload(QueueKind::SbqHtm, &w);
+                ctr = SimCounters {
+                    fastpath_hits: m.fastpath_hits,
+                    fastpath_fallbacks: m.fastpath_fallbacks,
+                    sim_events: m.sim_events,
+                };
+            });
+            ctr.apply(WallPoint::from_hist(
+                "fig_numa_88_cross",
                 threads,
                 threads as u64 * ops,
                 &h,

@@ -84,6 +84,13 @@ pub struct Measurement {
     /// Scheduler events the run processed (simulator only) — the
     /// wall-clock cost driver behind `duration_ns_per_op`.
     pub sim_events: u64,
+    /// Interconnect hops that stayed on one socket vs. crossed sockets
+    /// (simulator only; zero on native). `dir_hops_cross` is the
+    /// directory-leg share of the cross count — the traffic the
+    /// home-socket policy can move.
+    pub hops_intra: u64,
+    pub hops_cross: u64,
+    pub dir_hops_cross: u64,
 }
 
 struct ThreadOut {
@@ -261,6 +268,9 @@ where
             .as_ref()
             .map_or(0, |r| r.stats.fastpath_fallbacks),
         sim_events: report.sim.as_ref().map_or(0, |r| r.stats.events),
+        hops_intra: report.sim.as_ref().map_or(0, |r| r.stats.hops_intra),
+        hops_cross: report.sim.as_ref().map_or(0, |r| r.stats.hops_cross),
+        dir_hops_cross: report.sim.as_ref().map_or(0, |r| r.stats.dir_hops_cross),
     };
     (m, report)
 }
@@ -367,12 +377,13 @@ pub fn trace_workload(kind: QueueKind, w: &Workload, backend: BackendKind) -> Tr
             })
         }
     };
-    let (sim_trace, fastpath) = match report.sim {
+    let (sim_trace, fastpath, hops) = match report.sim {
         Some(r) => (
             r.trace,
             Some((r.stats.fastpath_hits, r.stats.fastpath_fallbacks)),
+            Some((r.stats.hops_intra, r.stats.hops_cross)),
         ),
-        None => (Vec::new(), None),
+        None => (Vec::new(), None, None),
     };
     let logs = sink.take_logs();
     let meta = TraceMeta {
@@ -382,6 +393,7 @@ pub fn trace_workload(kind: QueueKind, w: &Workload, backend: BackendKind) -> Tr
             measurement.queue, w.kind, w.producers, w.consumers
         ),
         fastpath,
+        hops,
     };
     TracedRun {
         chrome_json: obs::export(&logs, &sim_trace, &meta),
@@ -477,4 +489,92 @@ pub fn paper_workload(kind: WorkloadKind, threads: usize, ops_per_thread: u64) -
 fn tuned(mut m: MachineConfig) -> MachineConfig {
     m.check_invariants = false;
     m
+}
+
+/// The NUMA scenario family: how threads, directory homes, and hop
+/// latencies are arranged on a multi-socket machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumaShape {
+    /// Producers only, first-touch homes: every thread's baskets and
+    /// queue lines home on its own socket, so directory legs stay
+    /// socket-local even on a 4-socket machine.
+    SocketLocal,
+    /// Producers on the low sockets, consumers on the high ones, homes
+    /// hash-interleaved — the paper's §4.3 placement stressed across
+    /// the interconnect.
+    CrossSplit,
+    /// [`NumaShape::CrossSplit`] with the cross-socket hop priced 4×
+    /// the default (440 vs. 110 cycles): an asymmetric fabric where
+    /// remote directory legs dominate.
+    SkewedHops,
+}
+
+impl NumaShape {
+    pub const ALL: [NumaShape; 3] = [
+        NumaShape::SocketLocal,
+        NumaShape::CrossSplit,
+        NumaShape::SkewedHops,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            NumaShape::SocketLocal => "socket-local",
+            NumaShape::CrossSplit => "cross-split",
+            NumaShape::SkewedHops => "skewed-hops",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<NumaShape> {
+        NumaShape::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Builds one NUMA scenario data point: `threads` spread evenly over
+/// `sockets` sockets (44 per socket at paper scale: 88 = dual, 176 =
+/// quad). Unlike [`paper_workload`]'s fixed dual-socket mixed shape,
+/// these scenarios vary the home policy and fabric pricing, and the
+/// measurement's hop counters say where the directory traffic went.
+pub fn numa_workload(
+    shape: NumaShape,
+    sockets: usize,
+    threads: usize,
+    ops_per_thread: u64,
+) -> Workload {
+    let sockets = sockets.max(1);
+    let (kind, producers, consumers, prefill) = match shape {
+        NumaShape::SocketLocal => (WorkloadKind::ProducerOnly, threads.max(1), 0, 0),
+        NumaShape::CrossSplit | NumaShape::SkewedHops => {
+            // Equal producer/consumer halves (odd counts round down) so
+            // supply always covers consumer demand. Threads are pinned
+            // core i = program i, so the producer half fills the low
+            // sockets and the consumer half the high ones.
+            let pairs = (threads / 2).max(1);
+            (WorkloadKind::Mixed, pairs, pairs, ops_per_thread / 2 + 8)
+        }
+    };
+    let nthreads = producers + consumers;
+    let per_socket = nthreads.div_ceil(sockets).max(1);
+    let mut machine = tuned(MachineConfig::multi_socket(sockets, per_socket));
+    match shape {
+        NumaShape::SocketLocal => machine.home_policy = coherence::HomePolicy::FirstTouch,
+        NumaShape::CrossSplit => machine.home_policy = coherence::HomePolicy::Interleave,
+        NumaShape::SkewedHops => {
+            machine.home_policy = coherence::HomePolicy::Interleave;
+            machine.hop_cross *= 4;
+        }
+    }
+    Workload {
+        kind,
+        producers,
+        consumers,
+        ops_per_thread,
+        prefill_per_producer: prefill,
+        machine,
+        qp: QueueParams {
+            max_threads: nthreads,
+            enqueuers: producers,
+            basket_capacity: nthreads.max(44),
+            ..Default::default()
+        },
+    }
 }

@@ -70,6 +70,30 @@ pub enum ComponentSpec {
     },
 }
 
+/// Per-line directory home-socket policy: which socket's LLC slice
+/// holds a cache line's directory entry, and hence which hops its
+/// directory-bound coherence messages pay. Core↔core transfers are
+/// unaffected — only the `Node::Dir` leg of a message is priced by the
+/// line's home.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HomePolicy {
+    /// Every line homes on [`MachineConfig::home_socket`] — the seed
+    /// behaviour, and the right model for a single socket. All
+    /// calibrated goldens use this policy.
+    #[default]
+    Fixed,
+    /// Hash-interleaved: a multiplicative hash of the line address
+    /// spreads homes uniformly over the sockets, like interleaved page
+    /// placement. The directory load and the cross-socket penalty are
+    /// shared evenly regardless of access pattern.
+    Interleave,
+    /// First-touch: a line homes on the socket of the first core whose
+    /// request for it reaches the interconnect, like first-touch page
+    /// placement. Socket-local working sets stay local; shared lines
+    /// home wherever they were first used.
+    FirstTouch,
+}
+
 /// Full machine configuration.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -83,8 +107,14 @@ pub struct MachineConfig {
     pub hop_intra: u64,
     /// One-way message delay when crossing the socket interconnect, cycles.
     pub hop_cross: u64,
-    /// Socket holding the directory/LLC slice for all simulated lines.
+    /// Socket holding the directory/LLC slice for all simulated lines
+    /// under [`HomePolicy::Fixed`]; ignored by the distributed policies.
     pub home_socket: usize,
+    /// How cache-line addresses map to directory home sockets (the NUMA
+    /// geometry of the paper's dual-socket machine, §6.1). The default
+    /// keeps every line on `home_socket`, which is byte-identical to the
+    /// pre-policy simulator.
+    pub home_policy: HomePolicy,
     /// Directory/LLC-slice occupancy: minimum spacing between two
     /// requests the directory processes, cycles. Nonzero occupancy is
     /// what staggers simultaneous requesters on real hardware; with 0 the
@@ -169,6 +199,22 @@ pub struct MachineConfig {
     /// scheduler is roughly an order of magnitude faster per simulated
     /// op under contention.
     pub os_thread_scheduler: bool,
+    /// Stack size, bytes, of each simulated core's fiber under the
+    /// in-process scheduler. Simulated programs are shallow (queue
+    /// operations plus the `htm` combinators), and the measured canary
+    /// high-water mark sits well under 32 KiB even in debug builds, so
+    /// the 64 KiB default leaves a paper-scale 176-core machine at
+    /// ~11 MiB of stacks (vs 177 MiB under the old fixed 1 MiB layout)
+    /// while keeping generous headroom. Raise it for unusually deep
+    /// user programs; the canary check at every fiber handoff turns an
+    /// overflow into a panic rather than silent corruption.
+    pub fiber_stack: usize,
+    /// Paint each fiber stack with the canary pattern at spawn so the
+    /// run can report a stack high-water mark
+    /// (`Stats::stack_high_water`). Costs one memset per fiber, so it
+    /// is off by default — stack memory is otherwise deliberately left
+    /// uninitialized (zeroing large stacks per run is a measured cost).
+    pub measure_stacks: bool,
     /// Record a full message/transaction trace (costly; for the Figure 2/3
     /// reproductions and debugging).
     pub trace: bool,
@@ -191,6 +237,7 @@ impl Default for MachineConfig {
             hop_intra: 25,
             hop_cross: 110,
             home_socket: 0,
+            home_policy: HomePolicy::Fixed,
             dir_occupancy: 4,
             cache_occupancy: 8,
             delay_jitter_pct: 20,
@@ -208,6 +255,8 @@ impl Default for MachineConfig {
             seed: 0x5b90,
             fast_path: std::env::var_os("SBQ_FAST_PATH").is_none_or(|v| v != "0"),
             os_thread_scheduler: false,
+            fiber_stack: 64 * 1024,
+            measure_stacks: false,
             trace: false,
             check_invariants: cfg!(debug_assertions),
             components: Vec::new(),
@@ -234,6 +283,28 @@ impl MachineConfig {
             cores_per_socket: per_socket,
             ..Default::default()
         }
+    }
+
+    /// A machine with `sockets` sockets of `per_socket` cores each, lines
+    /// hash-interleaved over the sockets' directory slices (the natural
+    /// policy once more than one socket exists — a fixed home makes
+    /// multi-socket sweeps degenerate).
+    pub fn multi_socket(sockets: usize, per_socket: usize) -> Self {
+        MachineConfig {
+            cores: sockets * per_socket,
+            cores_per_socket: per_socket.max(1),
+            home_policy: if sockets > 1 {
+                HomePolicy::Interleave
+            } else {
+                HomePolicy::Fixed
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Number of sockets the configured cores span.
+    pub fn sockets(&self) -> usize {
+        self.cores.div_ceil(self.cores_per_socket.max(1)).max(1)
     }
 
     /// Socket of core `c`. The bootstrap core (index == `cores`) is mapped
@@ -275,6 +346,22 @@ mod tests {
         let c = MachineConfig::dual_socket(2);
         assert_eq!(c.hop(0, 0), c.hop_intra);
         assert_eq!(c.hop(0, 1), c.hop_cross);
+    }
+
+    #[test]
+    fn socket_counts() {
+        assert_eq!(MachineConfig::single_socket(44).sockets(), 1);
+        assert_eq!(MachineConfig::dual_socket(44).sockets(), 2);
+        let quad = MachineConfig::multi_socket(4, 44);
+        assert_eq!(quad.cores, 176);
+        assert_eq!(quad.sockets(), 4);
+        assert_eq!(quad.home_policy, HomePolicy::Interleave);
+        assert_eq!(quad.socket_of(175), 3);
+        assert_eq!(quad.socket_of(176), 0, "bootstrap core is on socket 0");
+        assert_eq!(
+            MachineConfig::multi_socket(1, 8).home_policy,
+            HomePolicy::Fixed
+        );
     }
 
     #[test]

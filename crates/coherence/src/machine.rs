@@ -529,7 +529,10 @@ impl FiberPump {
                 unsafe { fiber::switch(&ch.fiber_rsp, ch.sched_rsp.get()) };
             }
         });
-        let (fb, entry_ctx) = fiber::Fiber::new(fiber::DEFAULT_STACK, entry);
+        let (mut fb, entry_ctx) = fiber::Fiber::new(self.sim.cfg.fiber_stack, entry);
+        if self.sim.cfg.measure_stacks {
+            fb.paint();
+        }
         self.chans[core].fiber_rsp.set(entry_ctx);
         self.fibers[core] = Some(fb);
     }
@@ -916,6 +919,22 @@ impl Machine {
 
         // Reclaim the allocator caches for the next run.
         self.alloc_caches = std::mem::take(&mut pump.alloc_caches);
+
+        // Scheduler-footprint accounting: total stack reservation, plus
+        // the canary high-water mark when the stacks were painted. Like
+        // `Stats::events` these describe the engine, not the protocol,
+        // and stay out of every determinism fingerprint.
+        let spawned = pump.fibers.iter().flatten().count() as u64;
+        pump.sim.stats.stack_bytes_total = spawned * self.cfg.fiber_stack as u64;
+        if self.cfg.measure_stacks {
+            pump.sim.stats.stack_high_water = pump
+                .fibers
+                .iter()
+                .flatten()
+                .filter_map(|f| f.high_water())
+                .max()
+                .unwrap_or(0) as u64;
+        }
         RunReport {
             end_time: pump.sim.now(),
             core_end: (0..nprogs).map(|i| pump.chans[i].end_time.get()).collect(),

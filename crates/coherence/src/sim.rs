@@ -47,7 +47,7 @@
 //! via `MachineConfig::fast_path = false`.
 
 use crate::component::{self, Component};
-use crate::config::{ComponentSpec, MachineConfig};
+use crate::config::{ComponentSpec, HomePolicy, MachineConfig};
 use crate::fxhash::FxHashMap;
 use crate::msg::{Msg, Node};
 use crate::stats::{Stats, TraceEvent};
@@ -964,8 +964,20 @@ pub struct Sim {
     pub trace: Vec<TraceEvent>,
     rng: SimRng,
     check_countdown: u32,
-    /// Earliest time the directory can accept its next request.
-    dir_free_at: u64,
+    /// Earliest time each directory slice can accept its next request,
+    /// indexed by home socket. Under `HomePolicy::Fixed` every line maps
+    /// to the `home_socket` slot, which is exactly the old single-slice
+    /// occupancy; the distributed policies give each socket's slice its
+    /// own pipeline, as on real parts.
+    dir_free_at: Vec<u64>,
+    /// Number of sockets the topology spans (≥ `home_socket + 1` so the
+    /// fixed policy always has its slot).
+    nsockets: usize,
+    /// First-touch home assignments (`HomePolicy::FirstTouch` only):
+    /// line address → socket of the first core whose request for it hit
+    /// the interconnect. A separate map rather than the line arena so
+    /// the policy cannot perturb intern order.
+    first_touch: FxHashMap<u64, usize>,
     /// Earliest time each cache can serve its next incoming request.
     cache_free_at: Vec<u64>,
     /// Number of `Deliver`-to-core events currently in the wheel, per
@@ -1014,6 +1026,7 @@ impl Sim {
             .components
             .iter()
             .any(|s| matches!(s, ComponentSpec::Interrupt { .. }));
+        let nsockets = cfg.sockets().max(cfg.home_socket + 1);
         let mut sim = Sim {
             rng: SimRng::seed_from_u64(cfg.seed),
             clock: 0,
@@ -1027,7 +1040,9 @@ impl Sim {
             stats: Stats::default(),
             trace: Vec::new(),
             check_countdown: 0,
-            dir_free_at: 0,
+            dir_free_at: vec![0; nsockets],
+            nsockets,
+            first_touch: FxHashMap::default(),
             cache_free_at: vec![0; ncaches],
             inflight_to: vec![0; ncaches],
             hop_min: cfg.hop_intra.min(cfg.hop_cross),
@@ -1065,18 +1080,48 @@ impl Sim {
         self.events.push(self.clock, time, self.seq, ev);
     }
 
-    /// Point-to-point one-way latency between two nodes.
-    fn latency(&self, src: Node, dst: Node) -> u64 {
-        let s = |n: Node| match n {
-            Node::Dir => self.cfg.home_socket,
-            Node::Core(c) => self.caches[c].socket,
-        };
-        self.cfg.hop(s(src), s(dst))
+    /// Home socket of the directory slice serving `addr`. `toucher` is
+    /// the core on the other end of the directory leg — the assignee
+    /// under the first-touch policy (the first directory-bound message
+    /// for any line is its requester's GetS/GetM, so the entry a later
+    /// Dir→core reply looks up always exists by then).
+    fn home_socket_of(&mut self, addr: u64, toucher: usize) -> usize {
+        match self.cfg.home_policy {
+            HomePolicy::Fixed => self.cfg.home_socket,
+            HomePolicy::Interleave => {
+                (addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.nsockets
+            }
+            HomePolicy::FirstTouch => {
+                let s = self.caches[toucher].socket;
+                *self.first_touch.entry(addr).or_insert(s)
+            }
+        }
     }
 
     fn send(&mut self, src: Node, dst: Node, msg: Msg) {
         let sent = self.clock;
-        let recv = sent + self.latency(src, dst);
+        // A directory leg is priced at the line's home socket; the
+        // core↔core legs (Fwd data transfers) never consult the home.
+        let core_of = |n: Node| match n {
+            Node::Core(c) => Some(c),
+            Node::Dir => None,
+        };
+        let toucher = core_of(src).or(core_of(dst)).unwrap_or(0);
+        let socket_of = |sim: &mut Self, n: Node| match n {
+            Node::Core(c) => sim.caches[c].socket,
+            Node::Dir => sim.home_socket_of(msg.line(), toucher),
+        };
+        let s_src = socket_of(self, src);
+        let s_dst = socket_of(self, dst);
+        if s_src == s_dst {
+            self.stats.hops_intra += 1;
+        } else {
+            self.stats.hops_cross += 1;
+            if matches!(src, Node::Dir) || matches!(dst, Node::Dir) {
+                self.stats.dir_hops_cross += 1;
+            }
+        }
+        let recv = sent + self.cfg.hop(s_src, s_dst);
         if self.cfg.trace {
             self.trace.push(TraceEvent::Msg {
                 sent,
@@ -1091,7 +1136,7 @@ impl Sim {
         self.push(recv, Event::Deliver { to: dst, msg });
     }
 
-    fn trace_tx(&mut self, core: usize, what: &'static str, detail: u32) {
+    fn trace_tx(&mut self, core: usize, what: &'static str, detail: u64) {
         if self.cfg.trace {
             self.trace.push(TraceEvent::Tx {
                 time: self.clock,
@@ -1807,7 +1852,7 @@ impl Sim {
             Some(t) => t.depth += 1, // flat nesting
         }
         let depth = cache.txn.as_ref().unwrap().depth;
-        self.trace_tx(core, "xbegin", depth);
+        self.trace_tx(core, "xbegin", depth as u64);
         let done = self.clock + self.cfg.xbegin_cycles;
         self.resume_at(core, done, OpOutcome::Val(0));
     }
@@ -1900,7 +1945,7 @@ impl Sim {
         } else if txn::is_capacity(status) {
             self.stats.tx_aborts_capacity += 1;
         }
-        self.trace_tx(core, "abort", status);
+        self.trace_tx(core, "abort", status as u64);
 
         // Restore the thread at the checkpoint: exactly one response is
         // owed whenever op_state != Idle.
@@ -1947,21 +1992,23 @@ impl Sim {
     // ------------------------------------------------------------------
 
     fn dir_handle(&mut self, msg: Msg) {
-        // Directory occupancy: the controller retires at most one request
-        // per `dir_occupancy` cycles; simultaneous arrivals are naturally
-        // staggered, exactly like a real LLC slice.
-        if self.cfg.dir_occupancy > 0 {
-            if self.clock < self.dir_free_at {
-                let at = self.dir_free_at;
-                self.push(at, Event::Deliver { to: Node::Dir, msg });
-                return;
-            }
-            self.dir_free_at = self.clock + self.cfg.dir_occupancy;
-        }
         let from = match msg {
             Msg::GetS { from, .. } | Msg::GetM { from, .. } | Msg::WbData { from, .. } => from,
             other => panic!("directory cannot handle {other:?}"),
         };
+        // Directory occupancy: each home socket's slice retires at most
+        // one request per `dir_occupancy` cycles; simultaneous arrivals
+        // are naturally staggered, exactly like a real LLC slice. Under
+        // the fixed policy every line shares the `home_socket` slice.
+        if self.cfg.dir_occupancy > 0 {
+            let home = self.home_socket_of(msg.line(), from);
+            if self.clock < self.dir_free_at[home] {
+                let at = self.dir_free_at[home];
+                self.push(at, Event::Deliver { to: Node::Dir, msg });
+                return;
+            }
+            self.dir_free_at[home] = self.clock + self.cfg.dir_occupancy;
+        }
         let line = self.lines.intern(msg.line());
         let e = self.dir.entry(line);
         // Queue behind a transient state (except the writeback that

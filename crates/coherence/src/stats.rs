@@ -73,6 +73,26 @@ pub struct Stats {
     /// took — not a protocol observable; excluded from the determinism
     /// fingerprint for the same reason as the fast-path counters.
     pub events: u64,
+    /// Messages whose endpoints sat on the same socket (a directory leg
+    /// is priced at the line's home socket — see
+    /// `MachineConfig::home_policy`).
+    pub hops_intra: u64,
+    /// Messages that crossed the socket interconnect.
+    pub hops_cross: u64,
+    /// The subset of `hops_cross` with the directory on one end: a
+    /// requesting or responding core that was not on the line's home
+    /// socket. The NUMA cost the home-socket policies exist to shape;
+    /// rendered as a Dir-track counter by the obs Chrome exporter.
+    pub dir_hops_cross: u64,
+    /// Total fiber-stack bytes the run reserved (spawned fibers ×
+    /// `MachineConfig::fiber_stack`). A scheduler-footprint measure like
+    /// `events`: 0 under the OS-thread scheduler, excluded from the
+    /// determinism fingerprint.
+    pub stack_bytes_total: u64,
+    /// Deepest stack use, bytes, observed over all fibers via the canary
+    /// paint. 0 unless `MachineConfig::measure_stacks` was set (and
+    /// always 0 under the OS-thread scheduler).
+    pub stack_high_water: u64,
     /// Memory operations executed, indexed by [`OP_KINDS`].
     ops: [u64; OP_KINDS.len()],
 }
@@ -139,12 +159,14 @@ pub enum TraceEvent {
         line: u64,
     },
     /// A transaction-lifecycle event ("xbegin", "commit", "abort") on
-    /// `core` at `time`.
+    /// `core` at `time`. `detail` (nesting depth or RTM status word) is
+    /// carried at full counter width: paper-scale machines (176 cores ×
+    /// long runs) overflow a `u32` once cumulative quantities ride in it.
     Tx {
         time: u64,
         core: usize,
         what: &'static str,
-        detail: u32,
+        detail: u64,
     },
     /// A memory operation by `core` completed at `time`.
     Op {

@@ -156,7 +156,7 @@ fn interrupts_appear_in_the_trace_on_component_and_core_tracks() {
         .iter()
         .filter(|e| {
             matches!(e, coherence::TraceEvent::Tx { what, detail, .. }
-                if *what == "abort" && txn::is_interrupt(*detail))
+                if *what == "abort" && txn::is_interrupt(*detail as u32))
         })
         .count() as u64;
     assert_eq!(int_aborts, report.stats.tx_aborts_interrupt);

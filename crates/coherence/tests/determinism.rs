@@ -179,6 +179,54 @@ fn normalize(s: &str) -> String {
     s.split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
+/// Paper-scale dual-socket golden: 88 cores, 44 per socket — the
+/// geometry of the paper's evaluation machine (§6.1). Captured from the
+/// fiber scheduler; `core_end` is summarized (min/max/sum) instead of
+/// inlined so the golden stays reviewable at this width.
+const GOLDEN_88_DUAL: &str = "end=251174 core_end_len=88 min=247363 max=251174 sum=21895762 \
+    msgs=[GetS:1401 GetM:2557 Data:1489 Inv:1838 InvAck:1838 Fwd-GetS:757 Fwd-GetM:1712 DataOwner:2469 WbData:757 ] \
+    ops=[read:2863 write:801 cas:880 faa:902 swap:22 delay:69 xbegin:47 xend:22 xabort:0 ] \
+    commits=22 conflicts=25 explicit=0 spurious=0 tripped=2 stalls=2457 fix_stalls=0";
+
+/// [`fingerprint`] with `core_end` folded to (len, min, max, sum) — at
+/// 88 cores the full vector is pinned through the sum while the golden
+/// string stays one line.
+fn fingerprint_wide(r: &RunReport) -> String {
+    let full = fingerprint(r);
+    let folded = format!(
+        "core_end_len={} min={} max={} sum={}",
+        r.core_end.len(),
+        r.core_end.iter().min().unwrap(),
+        r.core_end.iter().max().unwrap(),
+        r.core_end.iter().sum::<u64>()
+    );
+    let rest = &full[full.find(" msgs=[").unwrap()..];
+    format!("end={} {}{}", r.end_time, folded, rest)
+}
+
+#[test]
+fn matches_golden_88_core_dual_socket() {
+    let fp = fingerprint_wide(&fixed_workload(88, true));
+    assert_eq!(
+        normalize(&fp),
+        normalize(GOLDEN_88_DUAL),
+        "88-core dual-socket fixture diverged from its golden"
+    );
+}
+
+/// Both schedulers must agree at paper scale, not just on the small
+/// fixtures — the OS-thread scheduler hands the token through 89 real
+/// threads here.
+#[test]
+fn os_thread_scheduler_matches_88_core_golden() {
+    let fp = fingerprint_wide(&fixed_workload_on(88, true, true));
+    assert_eq!(
+        normalize(&fp),
+        normalize(GOLDEN_88_DUAL),
+        "OS-thread scheduler diverged from the 88-core golden"
+    );
+}
+
 #[test]
 fn repeated_runs_are_identical() {
     let a = fingerprint(&fixed_workload(4, false));

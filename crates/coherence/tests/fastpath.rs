@@ -168,7 +168,9 @@ fn fixture(cores: usize, dual_socket: bool, fast_path: bool, os_threads: bool) -
 /// trace digests — with the fast path on and off, on both schedulers.
 #[test]
 fn goldens_identical_with_fast_path_on_and_off() {
-    for &(cores, dual) in &[(4usize, false), (6, true)] {
+    // 88 cores = the paper's dual-socket machine; the fast path must
+    // stay invisible at full scale, not just on the small fixtures.
+    for &(cores, dual) in &[(4usize, false), (6, true), (88, true)] {
         for &os_threads in &[false, true] {
             let on = fixture(cores, dual, true, os_threads);
             let off = fixture(cores, dual, false, os_threads);

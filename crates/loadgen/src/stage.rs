@@ -170,12 +170,23 @@ fn stage_queue_params(plan: &LoadPlan) -> QueueParams {
     }
 }
 
-/// The simulated machine a load plan runs on: one socket wide enough
-/// for every stage thread, delay jitter off (the plan's own service
-/// jitter is the only noise source, so runs are a pure function of the
-/// plan), invariant checking off for throughput.
+/// The simulated machine a load plan runs on: sockets of at most 44
+/// cores (the paper machine's width), so an 88-thread plan lands on a
+/// dual-socket topology with interleaved directory homes while narrow
+/// plans keep their historical single-socket layout. Delay jitter is
+/// off (the plan's own service jitter is the only noise source, so
+/// runs are a pure function of the plan), invariant checking off for
+/// throughput.
 pub fn machine_for(plan: &LoadPlan) -> MachineConfig {
-    let mut m = MachineConfig::single_socket(plan.threads());
+    let threads = plan.threads();
+    let mut m = if threads > 44 {
+        let sockets = threads.div_ceil(44);
+        let mut m = MachineConfig::multi_socket(sockets, threads.div_ceil(sockets));
+        m.cores = threads;
+        m
+    } else {
+        MachineConfig::single_socket(threads)
+    };
     m.delay_jitter_pct = 0;
     m.check_invariants = false;
     m.seed = plan.seed;

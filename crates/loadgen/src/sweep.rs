@@ -283,6 +283,40 @@ mod tests {
     }
 
     #[test]
+    fn dual_socket_88_core_sweep_finds_the_knee() {
+        // The paper machine's width: 88 stage threads force
+        // `machine_for` onto a dual-socket topology (44-core sockets,
+        // interleaved directory homes). One healthy point and one
+        // overload point bracket the knee like the narrow sweep above.
+        let plan = LoadPlan {
+            requests: 96,
+            sources: 22,
+            workers: 44,
+            egress: 22,
+            service_cycles: 4_000,
+            ..Default::default()
+        };
+        let m = crate::stage::machine_for(&plan);
+        assert_eq!(m.cores, 88);
+        assert_eq!(m.sockets(), 2, "88 threads must span two sockets");
+        let r = run_sweep(&SweepSpec {
+            plan,
+            queue: QueueKind::SbqCas,
+            backend: BackendKind::Sim,
+            rates: vec![100_000, 80_000_000],
+            slo_p99_ns: 0.0,
+            depth_slo: 24,
+            jobs: 1,
+        });
+        assert!(!r.points[0].diverged, "low-rate point must stay healthy");
+        let k = r.knee.expect("overload point must produce a knee");
+        assert_eq!(k.offered_rps, 80_000_000);
+        // Determinism at width: a repeat reproduces the digests.
+        let again = run_sweep(&r.spec);
+        assert_eq!(r.digests, again.digests);
+    }
+
+    #[test]
     fn default_rates_are_ascending_and_bracket_capacity() {
         let plan = LoadPlan::default();
         let rates = default_rates(&plan);

@@ -40,6 +40,11 @@ pub struct TraceMeta {
     /// next to the coherence traffic it avoided. `None` for backends
     /// without a fast path (native, runner).
     pub fastpath: Option<(u64, u64)>,
+    /// Simulator interconnect hop totals `(intra, cross)`, rendered as a
+    /// second Dir-track counter: how much of the coherence traffic shown
+    /// on the tracks stayed on-socket vs. crossed the interconnect.
+    /// `None` on native, where there is no simulated topology.
+    pub hops: Option<(u64, u64)>,
 }
 
 /// The Dir track id; core/thread `n` maps to track `n + 1`.
@@ -221,6 +226,16 @@ pub fn export(logs: &[ThreadLog], sim_trace: &[TraceEvent], meta: &TraceMeta) ->
         have_dir = true;
         let json = format!(
             "{{\"name\":\"fastpath\",\"cat\":\"coherence\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\"tid\":{DIR_TRACK},\"args\":{{\"hits\":{hits},\"fallbacks\":{fallbacks}}}}}"
+        );
+        push(&mut entries, 0, DIR_TRACK, json);
+    }
+
+    // Interconnect hop totals as a second Dir-track counter: the
+    // intra/cross split of the messages plotted above it.
+    if let Some((intra, cross)) = meta.hops {
+        have_dir = true;
+        let json = format!(
+            "{{\"name\":\"hops\",\"cat\":\"coherence\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\"tid\":{DIR_TRACK},\"args\":{{\"intra\":{intra},\"cross\":{cross}}}}}"
         );
         push(&mut entries, 0, DIR_TRACK, json);
     }
@@ -440,6 +455,7 @@ mod tests {
             backend: "sim",
             label: "unit test".to_string(),
             fastpath: None,
+            hops: None,
         }
     }
 
@@ -472,6 +488,18 @@ mod tests {
         assert!(json.contains("\"hits\":12"));
         assert!(json.contains("\"fallbacks\":3"));
         assert!(json.contains("\"name\":\"Dir\""));
+    }
+
+    #[test]
+    fn hops_counter_lands_on_dir_track() {
+        let mut m = meta();
+        m.hops = Some((400, 70));
+        let json = export(&sample_logs(), &[], &m);
+        let sum = validate(&json).expect("counter event must validate");
+        assert_eq!(sum.counters, 1);
+        assert!(sum.tracks.contains(&DIR_TRACK));
+        assert!(json.contains("\"intra\":400"));
+        assert!(json.contains("\"cross\":70"));
     }
 
     #[test]

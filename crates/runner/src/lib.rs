@@ -163,6 +163,7 @@ impl JobReport {
             backend: "runner",
             label: label.to_string(),
             fastpath: None,
+            hops: None,
         };
         obs::export(&sink.take_logs(), &[], &meta)
     }

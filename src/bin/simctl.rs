@@ -15,9 +15,18 @@
 //!            basket (capacity)       default max(44, threads)
 //!            fix (0/1 microarch fix) default 0
 //!            seed                    default 0x5b90
+//!            sockets (topology)      default from workload (1 or 2)
+//!            policy (fixed|interleave|first-touch)  directory homes
 //! ```
 //!
 //! Example: `simctl sbq-htm producer 44 ops=300 delay=900`
+//!
+//! `sockets=` reshapes the machine onto that many sockets (cores spread
+//! evenly) and, unless `policy=` pins one, hash-interleaves the
+//! directory homes across them; the output's `hops_intra`/`hops_cross`/
+//! `dir_cross` columns say where the interconnect traffic went.
+//! `simctl sbq-htm producer 176 sockets=4` is a paper-scale quad-socket
+//! point.
 //!
 //! With `backend=native` the workload runs on real OS threads and
 //! hardware atomics instead of the simulator; the machine keys (`hop`,
@@ -44,6 +53,24 @@
 //! submission order, so the TSV/JSON structure is identical for any
 //! `jobs` value; with `jobs > 1` the points contend for host cores, so
 //! `bench` defaults to the undisturbed serial measurement.
+//!
+//! `simctl fig <fig1|fig5|numa> [key=value ...]` regenerates one figure
+//! sweep as TSV (the CLI face of the `figures` binary's drivers, with
+//! explicit keys instead of environment variables). Keys:
+//!
+//! ```text
+//! ops      measured ops per thread            default 120
+//! threads  comma-separated sweep (fig1/fig5)  default 1,2,4,...,44
+//! grid     sockets x threads list (numa)      default 1x44,2x88,4x176
+//! jobs     sweep points in parallel; 0 = auto default 0
+//! out      also write the TSV here (optional)
+//! ```
+//!
+//! `fig numa` emits two tables over the grid: the Figure-1 FAA-vs-TxCAS
+//! crossover on multi-socket machines (with cross-socket hop counts per
+//! run) and the NUMA scenario family (socket-local / cross-split /
+//! skewed-hops), SBQ-HTM vs SBQ-CAS with the hop split. The output is a
+//! pure function of the keys — byte-identical for any `jobs`.
 //!
 //! `simctl trace <queue> <workload> <threads> [key=value ...]` runs the
 //! workload once with observability attached and writes a Chrome
@@ -166,7 +193,10 @@ usage:
   simctl <queue> <workload> <threads> [key=value ...]
       one closed-loop workload point (queues: sbq-htm sbq-cas sbq-striped
       bq wf cc ms; workloads: producer consumer mixed; keys: ops backend
-      hop hop-cross delay basket fix seed)
+      hop hop-cross delay basket fix seed sockets policy)
+  simctl fig <fig1|fig5|numa> [ops= threads= grid= jobs= out=]
+      regenerate one figure sweep as TSV; `numa` sweeps a sockets x
+      threads grid (default 1x44,2x88,4x176) with cross-socket hop counts
   simctl trace <queue> <workload> <threads> [key=value ...] [out=PATH] [tsv-out=PATH]
       one observed run exported as a Chrome trace-event JSON document
   simctl trace-validate <file.json>
@@ -227,6 +257,8 @@ fn parse_run_spec(args: &[String], mut extra: impl FnMut(&str, &str) -> bool) ->
 
     let mut ops = 200u64;
     let mut backend = BackendKind::Sim;
+    let mut sockets: Option<usize> = None;
+    let mut policy: Option<coherence::HomePolicy> = None;
     let mut w = paper_workload(kind, threads, ops);
     for kv in &args[3..] {
         let Some((k, v)) = kv.split_once('=') else {
@@ -240,6 +272,18 @@ fn parse_run_spec(args: &[String], mut extra: impl FnMut(&str, &str) -> bool) ->
             backend = BackendKind::parse(v).unwrap_or_else(|| {
                 eprintln!("unknown backend `{v}`");
                 usage();
+            });
+            continue;
+        }
+        if k == "policy" {
+            policy = Some(match v {
+                "fixed" => coherence::HomePolicy::Fixed,
+                "interleave" => coherence::HomePolicy::Interleave,
+                "first-touch" | "firsttouch" => coherence::HomePolicy::FirstTouch,
+                other => {
+                    eprintln!("unknown home policy `{other}`");
+                    usage();
+                }
             });
             continue;
         }
@@ -261,6 +305,7 @@ fn parse_run_spec(args: &[String], mut extra: impl FnMut(&str, &str) -> bool) ->
             }
             "fix" => w.machine.microarch_fix = n != 0,
             "seed" => w.machine.seed = n,
+            "sockets" => sockets = Some((n as usize).max(1)),
             other => {
                 eprintln!("unknown key `{other}`");
                 usage();
@@ -271,6 +316,18 @@ fn parse_run_spec(args: &[String], mut extra: impl FnMut(&str, &str) -> bool) ->
     let mut w2 = paper_workload(kind, threads, ops);
     w2.machine = w.machine.clone();
     w2.qp = w.qp;
+    // Topology overrides last: spread the machine's cores evenly over
+    // the requested socket count and, unless a policy was pinned,
+    // distribute directory homes across them.
+    if let Some(s) = sockets {
+        w2.machine.cores_per_socket = w2.machine.cores.div_ceil(s).max(1);
+        if s > 1 && policy.is_none() {
+            policy = Some(coherence::HomePolicy::Interleave);
+        }
+    }
+    if let Some(p) = policy {
+        w2.machine.home_policy = p;
+    }
     RunSpec {
         queue,
         kind,
@@ -472,6 +529,62 @@ fn bench_main(args: &[String]) {
     );
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");
+}
+
+/// `simctl fig <name> [key=value ...]`: regenerate one figure sweep as
+/// TSV with explicit keys (the `figures` binary's env-knob drivers,
+/// CLI-shaped). The output is a pure function of the keys.
+fn fig_main(args: &[String]) {
+    let Some((name, rest)) = args.split_first() else {
+        eprintln!("fig needs a figure: fig1, fig5, or numa");
+        usage();
+    };
+    let mut ops = 120u64;
+    let mut jobs = 0usize;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8, 12, 16, 22, 28, 36, 44];
+    let mut grid = bench::fig::NUMA_GRID.to_vec();
+    let mut out: Option<String> = None;
+    for kv in rest {
+        let Some((k, v)) = kv.split_once('=') else {
+            eprintln!("expected key=value, got `{kv}`");
+            usage();
+        };
+        match k {
+            "ops" => ops = v.parse().unwrap_or_else(|_| usage()),
+            "jobs" => jobs = v.parse().unwrap_or_else(|_| usage()),
+            "threads" => {
+                threads = v
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "grid" => grid = bench::fig::numa_grid(v),
+            "out" => out = Some(v.to_string()),
+            other => {
+                eprintln!("unknown key `{other}`");
+                usage();
+            }
+        }
+    }
+    let jobs = if jobs == 0 {
+        runner::default_jobs()
+    } else {
+        jobs
+    };
+    let text = match name.as_str() {
+        "fig1" => bench::fig::fig1_text(ops, &threads, jobs),
+        "fig5" => bench::fig::fig5_text(ops, &threads, jobs),
+        "numa" | "fig-numa" => bench::fig::fig_numa_text(ops, &grid, jobs),
+        other => {
+            eprintln!("unknown figure `{other}` (expected fig1, fig5, or numa)");
+            usage();
+        }
+    };
+    print!("{text}");
+    if let Some(path) = out {
+        std::fs::write(&path, &text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
 }
 
 fn trace_main(args: &[String]) {
@@ -976,6 +1089,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("bench") => return bench_main(&args[1..]),
         Some("bench-check") => return bench_check_main(&args[1..]),
+        Some("fig") => return fig_main(&args[1..]),
         Some("fuzz") => return fuzz_main(&args[1..]),
         Some("trace") => return trace_main(&args[1..]),
         Some("trace-validate") => return trace_validate_main(&args[1..]),
@@ -994,9 +1108,9 @@ fn main() {
         BackendKind::Native => run_workload_native(spec.queue, &spec.w),
     };
 
-    println!("queue\tworkload\tthreads\tlatency_ns\tthroughput_mops\tduration_ns_per_op\ttx_commits\ttx_aborts\ttx_aborts_interrupt\ttripped\tp50_ns\tp99_ns\tmax_ns");
+    println!("queue\tworkload\tthreads\tlatency_ns\tthroughput_mops\tduration_ns_per_op\ttx_commits\ttx_aborts\ttx_aborts_interrupt\ttripped\tp50_ns\tp99_ns\tmax_ns\thops_intra\thops_cross\tdir_cross");
     println!(
-        "{}\t{:?}\t{}\t{:.1}\t{:.3}\t{:.1}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}",
+        "{}\t{:?}\t{}\t{:.1}\t{:.3}\t{:.1}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}\t{}\t{}\t{}",
         m.queue,
         spec.kind,
         m.threads,
@@ -1009,6 +1123,9 @@ fn main() {
         m.tripped_writers,
         m.p50_ns,
         m.p99_ns,
-        m.max_ns
+        m.max_ns,
+        m.hops_intra,
+        m.hops_cross,
+        m.dir_hops_cross
     );
 }
